@@ -1,0 +1,127 @@
+/// \file ablate_eig_solvers.cpp
+/// \brief Ablation of the factor-matrix solver (paper Sec. II-B and IX):
+/// Gram + tridiagonal QL (the dsyevx stand-in), Gram + cyclic Jacobi, and
+/// the Gram-free SVD-via-QR route the paper proposes for accuracy near
+/// sqrt(machine eps) — "at roughly twice the cost of our current approach".
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "blas/blas.hpp"
+#include "core/seq/seq_tucker.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "dist/tsqr.hpp"
+#include "lapack/lapack.hpp"
+#include "tensor/local_kernels.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablate_eig_solvers",
+                       "eigensolver / SVD route comparison");
+  args.add_int("dim", 64, "mode-0 extent (Gram size)");
+  args.add_int("cols", 4096, "unfolding column count");
+  args.parse(argc, argv);
+
+  const std::size_t n = static_cast<std::size_t>(args.get_int("dim"));
+  const std::size_t cols = static_cast<std::size_t>(args.get_int("cols"));
+
+  bench::header("Ablation: factor solvers",
+                "leading left singular basis of a " + std::to_string(n) +
+                    " x " + std::to_string(cols) + " unfolding");
+
+  // A wide unfolding with geometrically decaying singular values spanning
+  // ~10 decades (the regime where Gram squaring loses the tail).
+  const tensor::Matrix u = tensor::Matrix::random_orthonormal(n, n, 3);
+  const tensor::Matrix v = tensor::Matrix::random_orthonormal(cols, n, 4);
+  std::vector<double> sigma(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sigma[i] = std::pow(10.0, -10.0 * static_cast<double>(i) /
+                                  static_cast<double>(n - 1));
+  }
+  tensor::Matrix us(n, n);
+  blas::copy(n * n, u.data(), us.data());
+  for (std::size_t j = 0; j < n; ++j) blas::scal(n, sigma[j], us.col(j));
+  const tensor::Matrix y = tensor::Matrix::multiply(us, false, v, true);
+
+  util::Table table({"solver", "time(s)", "max rel sigma err (top half)",
+                     "tail sigma rel err"});
+  auto report = [&](const std::string& name, double seconds,
+                    const std::vector<double>& got) {
+    double top_err = 0.0;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      top_err = std::max(top_err, std::fabs(got[i] - sigma[i]) / sigma[i]);
+    }
+    const std::size_t tail = n - 2;
+    const double tail_err =
+        std::fabs(got[tail] - sigma[tail]) / sigma[tail];
+    table.add_row({name, util::Table::fmt(seconds, 4),
+                   util::Table::fmt_sci(top_err, 1),
+                   util::Table::fmt_sci(tail_err, 1)});
+  };
+
+  {
+    util::Timer t;
+    tensor::Matrix s(n, n);
+    blas::syrk_full(blas::Trans::No, n, cols, 1.0, y.data(), n, 0.0, s.data(),
+                    n);
+    const la::SymEig eig = la::eig_sym(s.data(), n, n);
+    std::vector<double> got(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      got[i] = std::sqrt(std::max(0.0, eig.values[i]));
+    }
+    report("gram + tridiagonal QL", t.seconds(), got);
+  }
+  {
+    util::Timer t;
+    tensor::Matrix s(n, n);
+    blas::syrk_full(blas::Trans::No, n, cols, 1.0, y.data(), n, 0.0, s.data(),
+                    n);
+    const la::SymEig eig = la::eig_sym_jacobi(s.data(), n, n);
+    std::vector<double> got(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      got[i] = std::sqrt(std::max(0.0, eig.values[i]));
+    }
+    report("gram + cyclic Jacobi", t.seconds(), got);
+  }
+  {
+    util::Timer t;
+    const la::LeftSvd svd = la::left_svd_via_qr(y.data(), n, cols, n);
+    report("SVD via QR (Sec. IX)", t.seconds(), svd.singular_values);
+  }
+  {
+    // Distributed variant: the same matrix viewed as an n x c1 x c2 tensor
+    // on a 1 x 2 x 2 grid, factored with the communication-avoiding TSQR.
+    const std::size_t c1 = 64;
+    const std::size_t c2 = cols / c1;
+    double seconds = 0.0;
+    std::vector<double> got(n);
+    mps::run(4, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, {1, 2, 2});
+      dist::DistTensor x(grid, tensor::Dims{n, c1, c2});
+      x.fill_global([&](std::span<const std::size_t> idx) {
+        return y(idx[0], idx[1] + c1 * idx[2]);
+      });
+      comm.barrier();
+      util::Timer t;
+      const dist::FactorResult f = dist::factor_via_tsqr(
+          x, 0, dist::RankSelection::fixed_rank(n));
+      comm.barrier();
+      if (comm.rank() == 0) {
+        seconds = t.seconds();
+        for (std::size_t i = 0; i < n; ++i) {
+          got[i] = std::sqrt(std::max(0.0, f.eigenvalues[i]));
+        }
+      }
+    });
+    report("distributed TSQR (4 ranks)", seconds, got);
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Sec. IX: the Gram route squares the condition number, losing "
+      "singular values below sqrt(machine eps) ~ 1e-8 of the largest; the "
+      "QR route resolves the deep tail at roughly twice the cost.");
+  return 0;
+}

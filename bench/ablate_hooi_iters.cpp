@@ -1,0 +1,99 @@
+/// \file ablate_hooi_iters.cpp
+/// \brief Ablation of the HOOI iteration count: the paper observes (Tab. II
+/// discussion) that "HOOI iterations make little improvement on the
+/// ST-HOSVD initialization" for combustion data. We measure the error after
+/// each sweep and its cost, for a DNS surrogate and for an adversarial
+/// random-ranks case where HOOI genuinely helps.
+
+#include "bench_common.hpp"
+#include "core/hooi.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+namespace {
+
+void run_case(const std::string& label, int p,
+              const std::function<dist::DistTensor(
+                  std::shared_ptr<mps::CartGrid>)>& make,
+              const tensor::Dims& dims, core::SthosvdOptions init) {
+  std::printf("--- %s ---\n", label.c_str());
+  util::Table table({"sweeps", "rel error", "improvement", "time(s)"});
+  mps::run(p, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, dist::default_grid_shape(p, dims));
+    const dist::DistTensor x = make(grid);
+    core::HooiOptions opts;
+    opts.max_sweeps = 4;
+    opts.improvement_tol = 0.0;  // run all sweeps
+    util::Timer timer;
+    const auto result = core::hooi(x, init, opts);
+    const double total = timer.seconds();
+    if (comm.rank() == 0) {
+      const auto& hist = result.error_history;
+      for (std::size_t i = 0; i < hist.size(); ++i) {
+        const double improvement =
+            (i == 0) ? 0.0 : hist[i - 1] - hist[i];
+        table.add_row({i == 0 ? "init (ST-HOSVD)" : std::to_string(i),
+                       util::Table::fmt_sci(hist[i], 4),
+                       i == 0 ? "-" : util::Table::fmt_sci(improvement, 2),
+                       i == 0 ? "-"
+                              : util::Table::fmt(total *
+                                                     static_cast<double>(i) /
+                                                     static_cast<double>(
+                                                         hist.size() - 1),
+                                                 2)});
+      }
+      std::printf("%s\n", table.str().c_str());
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablate_hooi_iters",
+                       "HOOI error improvement per sweep vs cost");
+  args.add_double("scale", 0.035, "combustion dataset scale");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  bench::header("Ablation: HOOI sweeps", "does iterating beyond ST-HOSVD pay?");
+  const int p = static_cast<int>(args.get_int("ranks"));
+
+  // Case 1: combustion surrogate at a practical threshold (paper's setting).
+  const auto spec =
+      data::combustion_spec(data::CombustionPreset::HCCI,
+                            args.get_double("scale"));
+  core::SthosvdOptions init1;
+  init1.epsilon = 1e-3;
+  run_case("HCCI surrogate, eps = 1e-3", p,
+           [&](std::shared_ptr<mps::CartGrid> grid) {
+             dist::DistTensor x = data::make_combustion(grid, spec);
+             data::normalize_species(x, spec.species_mode);
+             return x;
+           },
+           spec.dims, init1);
+
+  // Case 2: aggressive truncation of a noisy low-rank tensor — the regime
+  // where alternating optimization visibly improves the subspaces.
+  const tensor::Dims dims{40, 40, 40};
+  core::SthosvdOptions init2;
+  init2.fixed_ranks = {3, 3, 3};
+  run_case("noisy low-rank tensor, ranks fixed at (3,3,3)", p,
+           [&](std::shared_ptr<mps::CartGrid> grid) {
+             return data::make_low_rank(grid, dims, tensor::Dims{8, 8, 8}, 7,
+                                        0.3);
+           },
+           dims, init2);
+
+  bench::paper_note(
+      "Tab. II: HOOI changes the error only in the 4th digit for the "
+      "combustion datasets — 'simply performing ST-HOSVD is likely "
+      "sufficient for this application area'. Aggressive truncation is "
+      "where HOOI earns its cost.");
+  return 0;
+}

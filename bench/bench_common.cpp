@@ -1,0 +1,27 @@
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "blas/blas.hpp"
+
+namespace ptucker::bench {
+
+double measure_core_gemm_flops() {
+  const std::size_t n = 384;
+  std::vector<double> a(n * n, 1.5);
+  std::vector<double> b(n * n, -0.5);
+  std::vector<double> c(n * n, 0.0);
+  // Warm-up.
+  blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n,
+             b.data(), n, 0.0, c.data(), n);
+  util::Timer timer;
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n,
+               b.data(), n, 0.0, c.data(), n);
+  }
+  const double seconds = timer.seconds();
+  return 2.0 * static_cast<double>(n) * n * n * reps / seconds;
+}
+
+}  // namespace ptucker::bench

@@ -1,0 +1,62 @@
+/// \file fig1b_compression_curve.cpp
+/// \brief Reproduces Fig. 1b: compression ratio vs normalized RMS error for
+/// the SP dataset (paper: 550 GB, ratios 5 -> 5,580 across eps 1e-6..1e-2).
+///
+/// We run the SP surrogate at reduced scale; the reproduction target is the
+/// *shape*: ratios spanning several orders of magnitude as the error budget
+/// loosens, with steep gains between 1e-4 and 1e-2.
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/reconstruct.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig1b_compression_curve",
+                       "compression ratio vs error for the SP surrogate");
+  args.add_double("scale", 0.05, "dataset scale factor vs the paper's 550 GB");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  bench::header("Fig. 1b", "compression ratio vs normalized RMS error (SP)");
+  const auto spec = data::combustion_spec(data::CombustionPreset::SP,
+                                          args.get_double("scale"));
+  const int p = static_cast<int>(args.get_int("ranks"));
+
+  util::Table table({"eps", "measured err", "compression", "reduced dims"});
+  mps::run(p, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, dist::default_grid_shape(p, spec.dims));
+    dist::DistTensor x = data::make_combustion(grid, spec);
+    data::normalize_species(x, spec.species_mode);
+    for (double eps : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+      core::SthosvdOptions opts;
+      opts.epsilon = eps;
+      const auto result = core::st_hosvd(x, opts);
+      const dist::DistTensor xt = core::reconstruct(result.tucker);
+      const double err = core::normalized_error(x, xt);
+      if (comm.rank() == 0) {
+        table.add_row({util::Table::fmt_sci(eps, 0),
+                       util::Table::fmt_sci(err, 2),
+                       util::Table::fmt(result.tucker.compression_ratio(), 1),
+                       bench::dims_name(result.tucker.core_dims())});
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf("dataset: SP surrogate %s (%.1f MB)\n",
+                  bench::dims_name(spec.dims).c_str(),
+                  static_cast<double>(tensor::prod(spec.dims)) * 8.0 /
+                      1048576.0);
+      std::printf("%s", table.str().c_str());
+    }
+  });
+  bench::paper_note(
+      "550 GB SP dataset compresses 5x at err 1e-6 up to 5,580x at 1e-2 "
+      "(ratios rise ~3 orders of magnitude across the sweep).");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file fig6_modewise_error.cpp
+/// \brief Reproduces Fig. 6: mode-wise contributions to the error bound for
+/// the three combustion datasets — the curves sqrt(sum_{i>R} lambda_i)/||X||
+/// per mode, whose intersections with eps/sqrt(N) give the reduced dims.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "dist/eigenvectors.hpp"
+#include "dist/gram.hpp"
+#include "dist/grid.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+namespace {
+
+void run_preset(data::CombustionPreset preset, double scale, int p) {
+  const auto spec = data::combustion_spec(preset, scale);
+  std::printf("--- %s surrogate: dims = %s ---\n", data::preset_name(preset),
+              bench::dims_name(spec.dims).c_str());
+
+  mps::run(p, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, dist::default_grid_shape(p, spec.dims));
+    dist::DistTensor x = data::make_combustion(grid, spec);
+    data::normalize_species(x, spec.species_mode);
+    const double norm_x = x.norm();
+
+    // Gram spectrum of every mode of the *untruncated* tensor (the Fig. 6
+    // curves are T-HOSVD style, per mode independently).
+    std::vector<std::vector<double>> spectra(spec.dims.size());
+    for (int n = 0; n < static_cast<int>(spec.dims.size()); ++n) {
+      const dist::GramColumns s = dist::gram(x, n);
+      const dist::FactorResult f = dist::eigenvectors(
+          s, *grid, n, dist::RankSelection::fixed_rank(spec.dims[
+              static_cast<std::size_t>(n)]));
+      spectra[static_cast<std::size_t>(n)] = f.eigenvalues;
+    }
+
+    if (comm.rank() == 0) {
+      // Print each mode's error at a geometric set of ranks.
+      std::vector<std::string> headers = {"rank fraction"};
+      for (std::size_t n = 0; n < spec.dims.size(); ++n) {
+        std::string label = "mode" + std::to_string(n + 1);
+        if (static_cast<int>(n) == spec.species_mode) label += "(species)";
+        if (static_cast<int>(n) == spec.time_mode) label += "(time)";
+        headers.push_back(label);
+      }
+      util::Table table(headers);
+      for (double frac : {0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9, 1.0}) {
+        std::vector<std::string> row = {util::Table::fmt(frac, 2)};
+        for (std::size_t n = 0; n < spec.dims.size(); ++n) {
+          const auto& ev = spectra[n];
+          const std::size_t rank = std::max<std::size_t>(
+              1, static_cast<std::size_t>(std::llround(
+                     frac * static_cast<double>(ev.size()))));
+          row.push_back(util::Table::fmt_sci(
+              core::modewise_error(ev, rank, norm_x), 1));
+        }
+        table.add_row(row);
+      }
+      std::printf("%s\n", table.str().c_str());
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig6_modewise_error",
+                       "mode-wise error-bound contributions per dataset");
+  args.add_double("scale", 0.04, "dataset scale factor");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  bench::header("Fig. 6", "mode-wise normalized RMS error vs rank");
+  const double scale = args.get_double("scale");
+  const int p = static_cast<int>(args.get_int("ranks"));
+  run_preset(data::CombustionPreset::HCCI, scale, p);
+  run_preset(data::CombustionPreset::TJLR, scale, p);
+  run_preset(data::CombustionPreset::SP, scale, p);
+  bench::paper_note(
+      "spatial modes decay over many decades (SP steepest), species modes "
+      "stay nearly flat (barely compressible), time modes are intermediate; "
+      "TJLR decays slowest of the three datasets.");
+  return 0;
+}

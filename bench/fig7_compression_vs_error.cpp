@@ -1,0 +1,57 @@
+/// \file fig7_compression_vs_error.cpp
+/// \brief Reproduces Fig. 7: compression ratio vs max normalized RMS error
+/// for HCCI, TJLR, and SP (paper: TJLR least compressible, C = 2..37; SP
+/// most compressible, C = 5..5600).
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "core/reconstruct.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig7_compression_vs_error",
+                       "compression vs error for all three datasets");
+  args.add_double("scale", 0.045, "dataset scale factor");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  bench::header("Fig. 7", "compression ratio vs max normalized RMS error");
+  const double scale = args.get_double("scale");
+  const int p = static_cast<int>(args.get_int("ranks"));
+
+  util::Table table({"dataset", "eps=1e-6", "1e-5", "1e-4", "1e-3", "1e-2"});
+  for (auto preset : {data::CombustionPreset::HCCI,
+                      data::CombustionPreset::TJLR,
+                      data::CombustionPreset::SP}) {
+    const auto spec = data::combustion_spec(preset, scale);
+    std::vector<std::string> row = {data::preset_name(preset)};
+    mps::run(p, [&](mps::Comm& comm) {
+      auto grid =
+          dist::make_grid(comm, dist::default_grid_shape(p, spec.dims));
+      dist::DistTensor x = data::make_combustion(grid, spec);
+      data::normalize_species(x, spec.species_mode);
+      for (double eps : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+        core::SthosvdOptions opts;
+        opts.epsilon = eps;
+        const auto result = core::st_hosvd(x, opts);
+        if (comm.rank() == 0) {
+          row.push_back(
+              util::Table::fmt(result.tucker.compression_ratio(), 1));
+        }
+      }
+    });
+    table.add_row(row);
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Fig. 7 (full-size data): TJLR 2 -> 37, HCCI intermediate (25 at "
+      "1e-3), SP 5 -> 5600. Reproduction target: SP >> HCCI >> TJLR at every "
+      "eps, with ratios growing steeply as eps loosens.");
+  return 0;
+}

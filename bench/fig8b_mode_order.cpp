@@ -1,0 +1,97 @@
+/// \file fig8b_mode_order.cpp
+/// \brief Reproduces Fig. 8b: ST-HOSVD run time across mode-processing
+/// orders for a tensor whose first mode is 10x smaller than the rest
+/// (paper: 25x250x250x250 -> 10x10x100x100 on a 2x2x2x2 grid; the optimal
+/// order starts with the *second* dimension, beating the greedy
+/// smallest-first heuristic).
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig8b_mode_order",
+                       "ST-HOSVD time across mode orderings");
+  args.add_double("scale", 0.4, "scale vs the paper's 25x250^3 tensor");
+  args.add_int("ranks", 16, "number of (thread) ranks (2x2x2x2 grid)");
+  args.parse(argc, argv);
+
+  const double scale = args.get_double("scale");
+  auto scaled = [&](std::size_t v) {
+    return std::max<std::size_t>(4, static_cast<std::size_t>(v * scale));
+  };
+  const tensor::Dims dims{scaled(25), scaled(250), scaled(250), scaled(250)};
+  const tensor::Dims ranks{scaled(10), scaled(10), scaled(100), scaled(100)};
+  const int p = static_cast<int>(args.get_int("ranks"));
+  PT_REQUIRE(p == 16, "fig8b uses the paper's 2x2x2x2 grid (16 ranks)");
+  const std::vector<int> shape{2, 2, 2, 2};
+
+  bench::header("Fig. 8b", "mode-order sweep, " + bench::dims_name(dims) +
+                               " -> " + bench::dims_name(ranks) +
+                               " on a 2x2x2x2 grid");
+
+  std::vector<int> order{0, 1, 2, 3};
+  struct Result {
+    std::vector<int> order;
+    double total = 0.0;
+    double gram = 0.0;
+    double evecs = 0.0;
+    double ttm = 0.0;
+  };
+  std::vector<Result> results;
+
+  do {
+    Result res;
+    res.order = order;
+    mps::run(p, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, shape);
+      const dist::DistTensor x =
+          data::make_low_rank(grid, dims, ranks, 9, 0.01);
+      util::KernelTimers timers;
+      core::SthosvdOptions opts;
+      opts.fixed_ranks = ranks;
+      opts.order_strategy = core::ModeOrderStrategy::Custom;
+      opts.custom_order = order;
+      opts.timers = &timers;
+      const double t = bench::time_region(comm, [&] {
+        (void)core::st_hosvd(x, opts);
+      });
+      if (comm.rank() == 0) {
+        res.total = t;
+        res.gram = timers.total("Gram");
+        res.evecs = timers.total("Evecs");
+        res.ttm = timers.total("TTM");
+      }
+    });
+    results.push_back(res);
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  const double best = std::min_element(results.begin(), results.end(),
+                                       [](const Result& a, const Result& b) {
+                                         return a.total < b.total;
+                                       })
+                          ->total;
+  util::Table table({"order", "time(s)", "relative", "Gram(s)", "Evecs(s)",
+                     "TTM(s)"});
+  for (const auto& r : results) {
+    std::string name;
+    for (int n : r.order) name += std::to_string(n + 1);
+    table.add_row({name, util::Table::fmt(r.total, 3),
+                   util::Table::fmt(r.total / best, 2),
+                   util::Table::fmt(r.gram, 3), util::Table::fmt(r.evecs, 3),
+                   util::Table::fmt(r.ttm, 3)});
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Fig. 8b: the small first dimension makes the first Gram cheap, but "
+      "the optimal order starts with the mode of largest compression ratio "
+      "(mode 2); spreads of ~2.5x between best and worst orders.");
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file fig9a_strong_scaling.cpp
+/// \brief Reproduces Fig. 9a: strong scaling of ST-HOSVD and one HOOI sweep
+/// on a fixed problem (paper: 200^4 -> 20^4 over 2^k nodes; here a scaled
+/// 4-way tensor over 1..16+ thread-ranks, grid tuned per rank count over the
+/// Sec. VIII-B heuristic shortlist).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/hooi.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig9a_strong_scaling",
+                       "strong scaling of ST-HOSVD + one HOOI sweep");
+  args.add_int("dim", 48, "tensor extent per mode (4-way)");
+  args.add_int("reduced", 5, "target rank per mode (paper uses dim/10)");
+  args.add_int("max_ranks", 16, "largest rank count (powers of two up to)");
+  args.add_int("grids_per_p", 3, "grid candidates tried per rank count");
+  args.parse(argc, argv);
+
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim"));
+  const std::size_t red = static_cast<std::size_t>(args.get_int("reduced"));
+  const tensor::Dims dims{dim, dim, dim, dim};
+  const tensor::Dims ranks{red, red, red, red};
+  const int max_p = static_cast<int>(args.get_int("max_ranks"));
+
+  bench::header("Fig. 9a", "strong scaling, " + bench::dims_name(dims) +
+                               " -> " + bench::dims_name(ranks));
+
+  util::Table table({"ranks", "grid", "ST-HOSVD(s)", "HOOI sweep(s)",
+                     "speedup", "efficiency"});
+  double t1 = 0.0;
+  for (int p = 1; p <= max_p; p *= 2) {
+    const auto candidates = mps::heuristic_grid_shapes(
+        p, dims, static_cast<std::size_t>(args.get_int("grids_per_p")));
+    double best_st = 1e300;
+    double best_hooi = 0.0;
+    std::vector<int> best_shape;
+    for (const auto& shape : candidates) {
+      double st_time = 0.0;
+      double hooi_time = 0.0;
+      mps::run(p, [&](mps::Comm& comm) {
+        auto grid = dist::make_grid(comm, shape);
+        const dist::DistTensor x =
+            data::make_low_rank(grid, dims, ranks, 3, 0.01);
+        core::SthosvdOptions opts;
+        opts.fixed_ranks = ranks;
+        const double t_st = bench::time_region(comm, [&] {
+          (void)core::st_hosvd(x, opts);
+        });
+        core::HooiOptions hooi_opts;
+        hooi_opts.max_sweeps = 1;
+        hooi_opts.improvement_tol = -1.0;  // force exactly one sweep
+        const double t_all = bench::time_region(comm, [&] {
+          (void)core::hooi(x, opts, hooi_opts);
+        });
+        if (comm.rank() == 0) {
+          st_time = t_st;
+          hooi_time = std::max(0.0, t_all - t_st);
+        }
+      });
+      if (best_shape.empty() || st_time < best_st) {
+        best_st = st_time;
+        best_hooi = hooi_time;
+        best_shape = shape;
+      }
+    }
+    if (p == 1) t1 = best_st;
+    const double speedup = t1 / best_st;
+    table.add_row({std::to_string(p), bench::shape_name(best_shape),
+                   util::Table::fmt(best_st, 3),
+                   util::Table::fmt(best_hooi, 3),
+                   util::Table::fmt(speedup, 2),
+                   util::Table::fmt(speedup / p, 2)});
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Fig. 9a: run time keeps decreasing up to 256 nodes (6144 cores) with "
+      "near-linear scaling at low counts; HOOI costs a small multiple of "
+      "ST-HOSVD per sweep. Reproduction target: monotone decrease and high "
+      "efficiency at small P on one node.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file fig9b_weak_scaling.cpp
+/// \brief Reproduces Fig. 9b: weak scaling — fixed data per rank, growing
+/// tensors (paper: (200k)^4 with cores of (20k)^4 on k^4 nodes, reporting
+/// GFLOPS per core). We grow one mode per doubling so the local volume
+/// stays constant at every rank count, and report measured GFLOPS/core
+/// (from the exact kernel flop counters) plus %% of the machine's measured
+/// single-core GEMM throughput.
+
+#include "bench_common.hpp"
+#include "blas/blas.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig9b_weak_scaling",
+                       "weak scaling: GFLOPS per core at fixed local volume");
+  args.add_int("base_dim", 32, "extent per mode at 1 rank (4-way)");
+  args.add_int("max_ranks", 16, "largest rank count (powers of two)");
+  args.parse(argc, argv);
+
+  const std::size_t base = static_cast<std::size_t>(args.get_int("base_dim"));
+  const int max_p = static_cast<int>(args.get_int("max_ranks"));
+
+  bench::header("Fig. 9b", "weak scaling from " +
+                               std::to_string(base) + "^4 per rank");
+  const double core_peak = bench::measure_core_gemm_flops();
+  std::printf("measured single-core gemm throughput: %.2f GFLOP/s\n\n",
+              core_peak / 1e9);
+
+  util::Table table({"ranks", "grid", "global dims", "time(s)",
+                     "GFLOPS/core", "% gemm peak"});
+  for (int p = 1; p <= max_p; p *= 2) {
+    // Grow one grid mode per doubling: P = 2^a distributed as extents
+    // (2,2,2,...) over the first a modes; dims grow with the grid so the
+    // local block stays base^4.
+    std::vector<int> shape(4, 1);
+    tensor::Dims dims(4, base);
+    tensor::Dims ranks(4, base / 8);
+    int rem = p;
+    int mode = 0;
+    while (rem > 1) {
+      shape[static_cast<std::size_t>(mode % 4)] *= 2;
+      dims[static_cast<std::size_t>(mode % 4)] *= 2;
+      ranks[static_cast<std::size_t>(mode % 4)] *= 2;
+      rem /= 2;
+      ++mode;
+    }
+    double elapsed = 0.0;
+    std::uint64_t flops = 0;
+    mps::run(p, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, shape);
+      const dist::DistTensor x =
+          data::make_low_rank(grid, dims, ranks, 11, 0.01);
+      comm.barrier();
+      if (comm.rank() == 0) blas::reset_flop_count();
+      comm.barrier();
+      core::SthosvdOptions opts;
+      opts.fixed_ranks = ranks;
+      const double t = bench::time_region(comm, [&] {
+        (void)core::st_hosvd(x, opts);
+      });
+      if (comm.rank() == 0) {
+        elapsed = t;
+        flops = blas::flop_count();
+      }
+    });
+    const double gflops_core =
+        static_cast<double>(flops) / elapsed / p / 1e9;
+    table.add_row({std::to_string(p), bench::shape_name(shape),
+                   bench::dims_name(dims), util::Table::fmt(elapsed, 3),
+                   util::Table::fmt(gflops_core, 2),
+                   util::Table::fmt(100.0 * gflops_core * 1e9 / core_peak, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Fig. 9b: 66%% of core peak at 1 node falling to 17%% at 1296 nodes "
+      "(15 TB in 70 s, up to 104 TFLOPS aggregate). Reproduction target: "
+      "high per-core efficiency at 1 rank, gradual decline as "
+      "communication and grid trade-offs kick in.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file table2_reconstruction_error.cpp
+/// \brief Reproduces Tab. II: compression and errors at the eps = 1e-3
+/// error threshold — reduced dims, normalized RMS and max-abs-element error
+/// for ST-HOSVD and HOOI, and the compression ratio, for all three datasets.
+
+#include "bench_common.hpp"
+#include "core/hooi.hpp"
+#include "core/metrics.hpp"
+#include "core/reconstruct.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "dist/grid.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("table2_reconstruction_error",
+                       "Tab. II at eps = 1e-3 for HCCI / TJLR / SP");
+  args.add_double("scale", 0.045, "dataset scale factor");
+  args.add_double("eps", 1e-3, "max normalized RMS error threshold");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  bench::header("Tab. II",
+                "compression and errors at the 1e-3 error threshold");
+  const double scale = args.get_double("scale");
+  const double eps = args.get_double("eps");
+  const int p = static_cast<int>(args.get_int("ranks"));
+
+  util::Table table({"dataset", "reduced dims", "ST err", "ST maxabs",
+                     "HOOI err", "HOOI maxabs", "ratio"});
+  for (auto preset : {data::CombustionPreset::HCCI,
+                      data::CombustionPreset::TJLR,
+                      data::CombustionPreset::SP}) {
+    const auto spec = data::combustion_spec(preset, scale);
+    mps::run(p, [&](mps::Comm& comm) {
+      auto grid =
+          dist::make_grid(comm, dist::default_grid_shape(p, spec.dims));
+      dist::DistTensor x = data::make_combustion(grid, spec);
+      data::normalize_species(x, spec.species_mode);
+
+      core::SthosvdOptions init;
+      init.epsilon = eps;
+      const auto st = core::st_hosvd(x, init);
+      const dist::DistTensor st_rec = core::reconstruct(st.tucker);
+      const double st_err = core::normalized_error(x, st_rec);
+      const double st_max = core::max_abs_error(x, st_rec);
+
+      core::HooiOptions hooi_opts;
+      hooi_opts.max_sweeps = 2;
+      const auto hooi = core::hooi(x, init, hooi_opts);
+      const dist::DistTensor ho_rec = core::reconstruct(hooi.tucker);
+      const double ho_err = core::normalized_error(x, ho_rec);
+      const double ho_max = core::max_abs_error(x, ho_rec);
+
+      if (comm.rank() == 0) {
+        table.add_row({data::preset_name(preset),
+                       bench::dims_name(st.tucker.core_dims()),
+                       util::Table::fmt_sci(st_err, 3),
+                       util::Table::fmt_sci(st_max, 3),
+                       util::Table::fmt_sci(ho_err, 3),
+                       util::Table::fmt_sci(ho_max, 3),
+                       util::Table::fmt(st.tucker.compression_ratio(), 0)});
+      }
+    });
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Tab. II (full size): HCCI (297,279,29,153) err 9.26e-4 ratio 25; TJLR "
+      "(306,232,239,35,16) err 7.62e-4 ratio 7; SP (81,129,127,7,32) err "
+      "8.66e-4 ratio 231. HOOI barely improves on ST-HOSVD (the paper's "
+      "conclusion that ST-HOSVD alone suffices here).");
+  return 0;
+}

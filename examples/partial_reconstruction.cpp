@@ -1,0 +1,113 @@
+/// \file partial_reconstruction.cpp
+/// \brief The paper's analysis workflow (Sec. II-C / VII): once a dataset is
+/// compressed, reconstruct only the slices an analyst asks for — "a single
+/// species, a few time steps, a subset of the grid, or any combination" —
+/// without ever forming the full tensor.
+///
+///   ./partial_reconstruction --scale 0.04 --ranks 8
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/reconstruct.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "dist/grid.hpp"
+#include "mps/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("partial_reconstruction",
+                       "reconstruct selected slices from a compressed model");
+  args.add_double("scale", 0.04, "dataset scale factor");
+  args.add_double("eps", 1e-3, "compression error target");
+  args.add_int("ranks", 8, "number of (thread) ranks");
+  args.parse(argc, argv);
+
+  const auto spec = data::combustion_spec(data::CombustionPreset::SP,
+                                          args.get_double("scale"));
+  const int p = static_cast<int>(args.get_int("ranks"));
+
+  mps::run(p, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, dist::default_grid_shape(p, spec.dims));
+    dist::DistTensor x = data::make_combustion(grid, spec);
+    data::normalize_species(x, spec.species_mode);
+
+    core::SthosvdOptions opts;
+    opts.epsilon = args.get_double("eps");
+    const auto model = core::st_hosvd(x, opts).tucker;
+
+    // --- full reconstruction (the expensive baseline) ---------------------
+    util::Timer full_timer;
+    const dist::DistTensor full = core::reconstruct(model);
+    const double full_s = full_timer.seconds();
+
+    // --- request 1: a single species, all space and time ------------------
+    const std::size_t species = 3;
+    std::vector<std::vector<std::size_t>> one_species(spec.dims.size());
+    one_species[static_cast<std::size_t>(spec.species_mode)] = {species};
+    util::Timer sp_timer;
+    const dist::DistTensor species_slice =
+        core::reconstruct_subtensor(model, one_species);
+    const double sp_s = sp_timer.seconds();
+
+    // --- request 2: two time steps on a coarse (every 4th point) grid -----
+    std::vector<std::vector<std::size_t>> coarse(spec.dims.size());
+    for (int n = 0; n < 3; ++n) {  // spatial modes of the SP preset
+      for (std::size_t i = 0; i < spec.dims[static_cast<std::size_t>(n)];
+           i += 4) {
+        coarse[static_cast<std::size_t>(n)].push_back(i);
+      }
+    }
+    coarse[static_cast<std::size_t>(spec.time_mode)] = {
+        0, spec.dims[static_cast<std::size_t>(spec.time_mode)] - 1};
+    util::Timer coarse_timer;
+    const dist::DistTensor coarse_slice =
+        core::reconstruct_subtensor(model, coarse);
+    const double coarse_s = coarse_timer.seconds();
+
+    // --- verify the species slice against the full reconstruction ---------
+    const tensor::Tensor full_g = full.gather(0);
+    const tensor::Tensor slice_g = species_slice.gather(0);
+    double max_dev = 0.0;
+    if (comm.rank() == 0) {
+      std::vector<util::Range> ranges;
+      for (std::size_t n = 0; n < spec.dims.size(); ++n) {
+        if (static_cast<int>(n) == spec.species_mode) {
+          ranges.push_back(util::Range{species, species + 1});
+        } else {
+          ranges.push_back(util::Range{0, spec.dims[n]});
+        }
+      }
+      const tensor::Tensor expected = full_g.subtensor(ranges);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        max_dev = std::max(max_dev,
+                           std::fabs(expected[i] - slice_g[i]));
+      }
+    }
+
+    if (comm.rank() == 0) {
+      std::printf("compressed SP surrogate: dims =");
+      for (std::size_t d : spec.dims) std::printf(" %zu", d);
+      std::printf(", ratio %.1fx\n", model.compression_ratio());
+      std::printf("  full reconstruction      : %8zu elements  %.3fs\n",
+                  tensor::prod(full.global_dims()), full_s);
+      std::printf("  single species           : %8zu elements  %.3fs\n",
+                  tensor::prod(species_slice.global_dims()), sp_s);
+      std::printf("  coarse grid + 2 steps    : %8zu elements  %.3fs\n",
+                  tensor::prod(coarse_slice.global_dims()), coarse_s);
+      std::printf("  species slice vs full    : max deviation %.2e\n",
+                  max_dev);
+      std::printf(
+          "partial reconstructions touch only the requested output — the\n"
+          "laptop-scale analysis workflow the paper motivates.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,92 @@
+#pragma once
+/// \file blas.hpp
+/// \brief Dense linear-algebra kernels (the BLAS substitute).
+///
+/// The paper's local computations are "cast in terms of BLAS3 routines to
+/// exploit optimized, architecture-specific kernels" (Sec. I). This module
+/// provides those routines from scratch: a cache-blocked, packing GEMM with
+/// a register-tiled microkernel, SYRK (both the paper's default
+/// full-storage variant and a symmetry-exploiting variant for the Sec. IX
+/// ablation), GEMV, and level-1 operations.
+///
+/// Conventions follow BLAS: column-major storage with leading dimensions,
+/// but 0-based std::size_t sizes. All kernels count flops into a global
+/// counter (used by the weak-scaling bench to report GFLOPS exactly as the
+/// paper's Fig. 9b does).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptucker::blas {
+
+enum class Trans : std::uint8_t {
+  No,  ///< use the matrix as stored
+  Yes  ///< use the transpose
+};
+
+/// Number of rows of op(A) given A's stored shape.
+[[nodiscard]] constexpr std::size_t op_rows(Trans t, std::size_t rows,
+                                            std::size_t cols) {
+  return t == Trans::No ? rows : cols;
+}
+
+/// --- flop accounting ---------------------------------------------------------
+
+/// Total flops executed by all kernels since the last reset (all threads).
+[[nodiscard]] std::uint64_t flop_count();
+void reset_flop_count();
+void add_flops(std::uint64_t flops);
+
+/// --- level 3 -------------------------------------------------------------------
+
+/// C(m x n) = alpha * op(A) * op(B) + beta * C.
+/// op(A) is m x k and op(B) is k x n; lda/ldb/ldc are leading dimensions of
+/// the *stored* matrices.
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          double alpha, const double* a, std::size_t lda, const double* b,
+          std::size_t ldb, double beta, double* c, std::size_t ldc);
+
+/// Intra-kernel threading (paper Sec. IX: "using multi-threaded BLAS for
+/// all local computations"). When set > 1, large gemm calls split their
+/// column dimension across that many threads. Default 1: in this runtime
+/// the ranks themselves are threads, so nested parallelism only pays when
+/// running fewer ranks than cores. The setting is global (atomic).
+void set_gemm_threads(int threads);
+[[nodiscard]] int gemm_threads();
+
+/// C(n x n) = alpha * op(A) * op(A)^T + beta * C with *both* triangles
+/// stored — the paper's Gram computation "ignores the fact that S is
+/// symmetric, storing both upper and lower triangles explicitly" (Sec. V-C).
+/// trans == No: op(A) = A (n x k);  trans == Yes: op(A) = A^T (A is k x n).
+void syrk_full(Trans trans, std::size_t n, std::size_t k, double alpha,
+               const double* a, std::size_t lda, double beta, double* c,
+               std::size_t ldc);
+
+/// Symmetry-exploiting variant: computes the lower triangle in ~n^2 k flops
+/// (vs 2 n^2 k) and leaves the upper triangle untouched. Use
+/// symmetrize_from_lower() to fill the mirror. This is the optimization the
+/// paper's Sec. IX lists as future work; bench/ablate_gram_symmetry measures
+/// it.
+void syrk_lower(Trans trans, std::size_t n, std::size_t k, double alpha,
+                const double* a, std::size_t lda, double beta, double* c,
+                std::size_t ldc);
+
+/// Copy the lower triangle into the upper triangle.
+void symmetrize_from_lower(std::size_t n, double* c, std::size_t ldc);
+
+/// --- level 2 -------------------------------------------------------------------
+
+/// y = alpha * op(A) * x + beta * y, A stored m x n.
+void gemv(Trans trans, std::size_t m, std::size_t n, double alpha,
+          const double* a, std::size_t lda, const double* x, double beta,
+          double* y);
+
+/// --- level 1 -------------------------------------------------------------------
+
+void axpy(std::size_t n, double alpha, const double* x, double* y);
+[[nodiscard]] double dot(std::size_t n, const double* x, const double* y);
+[[nodiscard]] double nrm2(std::size_t n, const double* x);
+void scal(std::size_t n, double alpha, double* x);
+void copy(std::size_t n, const double* x, double* y);
+
+}  // namespace ptucker::blas

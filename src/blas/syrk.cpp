@@ -1,0 +1,61 @@
+#include <algorithm>
+
+#include "blas/blas.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::blas {
+
+void syrk_full(Trans trans, std::size_t n, std::size_t k, double alpha,
+               const double* a, std::size_t lda, double beta, double* c,
+               std::size_t ldc) {
+  // Full-storage Gram update: both triangles computed (the paper's default).
+  // Delegates to gemm with B = A under the complementary transpose; gemm
+  // already counted 2 n^2 k flops, matching the paper's Gram flop count.
+  if (trans == Trans::No) {
+    gemm(Trans::No, Trans::Yes, n, n, k, alpha, a, lda, a, lda, beta, c, ldc);
+  } else {
+    gemm(Trans::Yes, Trans::No, n, n, k, alpha, a, lda, a, lda, beta, c, ldc);
+  }
+}
+
+void syrk_lower(Trans trans, std::size_t n, std::size_t k, double alpha,
+                const double* a, std::size_t lda, double beta, double* c,
+                std::size_t ldc) {
+  // Symmetry-exploiting variant (Sec. IX future work): process column-blocks
+  // of C; for each block, one gemm for the sub-diagonal rectangle and one
+  // small gemm for the diagonal block (upper half of the diagonal block is
+  // computed and discarded — an O(n * NB * k) overhead).
+  constexpr std::size_t NB = 32;
+  if (n == 0) return;
+  for (std::size_t j0 = 0; j0 < n; j0 += NB) {
+    const std::size_t nb = std::min(NB, n - j0);
+    // Diagonal block C(j0:j0+nb, j0:j0+nb).
+    if (trans == Trans::No) {
+      gemm(Trans::No, Trans::Yes, nb, nb, k, alpha, a + j0, lda, a + j0, lda,
+           beta, c + j0 * ldc + j0, ldc);
+    } else {
+      gemm(Trans::Yes, Trans::No, nb, nb, k, alpha, a + j0 * lda, lda,
+           a + j0 * lda, lda, beta, c + j0 * ldc + j0, ldc);
+    }
+    // Rectangle below the diagonal block: rows j0+nb .. n.
+    const std::size_t rows = n - (j0 + nb);
+    if (rows == 0) continue;
+    if (trans == Trans::No) {
+      gemm(Trans::No, Trans::Yes, rows, nb, k, alpha, a + (j0 + nb), lda,
+           a + j0, lda, beta, c + j0 * ldc + (j0 + nb), ldc);
+    } else {
+      gemm(Trans::Yes, Trans::No, rows, nb, k, alpha, a + (j0 + nb) * lda,
+           lda, a + j0 * lda, lda, beta, c + j0 * ldc + (j0 + nb), ldc);
+    }
+  }
+}
+
+void symmetrize_from_lower(std::size_t n, double* c, std::size_t ldc) {
+  for (std::size_t j = 1; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      c[j * ldc + i] = c[i * ldc + j];
+    }
+  }
+}
+
+}  // namespace ptucker::blas

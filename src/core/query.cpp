@@ -1,0 +1,70 @@
+#include "core/query.hpp"
+
+#include "mps/collectives.hpp"
+#include "tensor/local_kernels.hpp"
+
+namespace ptucker::core {
+
+CompressedQuery::CompressedQuery(const TuckerTensor& model)
+    : factors_(model.factors), data_dims_(model.data_dims()) {
+  // Gather the core at rank 0, then broadcast so every rank can query.
+  Tensor core = model.core.gather(0);
+  const mps::Comm& comm = model.core.grid().comm();
+  const Dims core_dims = model.core.global_dims();
+  if (comm.rank() != 0) core = Tensor(core_dims);
+  mps::broadcast(comm, core.span(), 0);
+  core_ = std::move(core);
+}
+
+CompressedQuery::CompressedQuery(Tensor core, std::vector<Matrix> factors)
+    : core_(std::move(core)), factors_(std::move(factors)) {
+  data_dims_.resize(factors_.size());
+  for (std::size_t n = 0; n < factors_.size(); ++n) {
+    PT_REQUIRE(factors_[n].cols() == core_.dim(static_cast<int>(n)),
+               "query: factor/core rank mismatch in mode " << n);
+    data_dims_[n] = factors_[n].rows();
+  }
+}
+
+Tensor CompressedQuery::contract_rows(std::span<const std::size_t> index,
+                                      int skip_mode) const {
+  PT_REQUIRE(index.size() == factors_.size(), "query: index order mismatch");
+  Tensor y = core_;
+  // Contract the largest ranks first so intermediates shrink fastest; each
+  // step multiplies by a 1 x Rn matrix (a factor row).
+  for (int n = 0; n < static_cast<int>(factors_.size()); ++n) {
+    if (n == skip_mode) continue;
+    const std::size_t un = static_cast<std::size_t>(n);
+    PT_REQUIRE(index[un] < data_dims_[un],
+               "query: index out of range in mode " << n);
+    Matrix row(1, factors_[un].cols());
+    for (std::size_t j = 0; j < row.cols(); ++j) {
+      row(0, j) = factors_[un](index[un], j);
+    }
+    y = tensor::local_ttm(y, row, n);
+  }
+  return y;
+}
+
+double CompressedQuery::element(std::span<const std::size_t> index) const {
+  const Tensor contracted = contract_rows(index, /*skip_mode=*/-1);
+  PT_CHECK(contracted.size() == 1, "query: element contraction not scalar");
+  return contracted[0];
+}
+
+std::vector<double> CompressedQuery::fiber(
+    int mode, std::span<const std::size_t> index) const {
+  PT_REQUIRE(mode >= 0 && mode < static_cast<int>(factors_.size()),
+             "query: fiber mode out of range");
+  const Tensor contracted = contract_rows(index, mode);
+  // contracted has extent R_mode in `mode` and 1 elsewhere; multiply by the
+  // full factor to expand to the data extent.
+  const Tensor expanded =
+      tensor::local_ttm(contracted, factors_[static_cast<std::size_t>(mode)],
+                        mode);
+  PT_CHECK(expanded.size() == data_dims_[static_cast<std::size_t>(mode)],
+           "query: fiber expansion size mismatch");
+  return {expanded.data(), expanded.data() + expanded.size()};
+}
+
+}  // namespace ptucker::core

@@ -1,0 +1,47 @@
+#pragma once
+/// \file query.hpp
+/// \brief Compressed-domain queries: evaluate single elements or whole
+/// fibers of X̃ directly from the Tucker model, without reconstructing any
+/// tensor. This is the logical endpoint of the paper's partial
+/// reconstruction story (Sec. II-C): an analyst probing point values or
+/// 1-D profiles pays O(prod Rn) per element instead of touching prod(In).
+
+#include "core/tucker_tensor.hpp"
+
+namespace ptucker::core {
+
+/// Sequential query engine over a gathered model. Build it once (gathers
+/// the distributed core to every rank via all-gather semantics), then query
+/// freely with no further communication — the "analysis on a laptop" mode.
+class CompressedQuery {
+ public:
+  /// Collective: gathers the core to rank 0 and broadcasts it, so every
+  /// rank can answer queries independently afterwards.
+  explicit CompressedQuery(const TuckerTensor& model);
+
+  /// Build from an already-local core + factors (e.g. after load on 1 rank).
+  CompressedQuery(Tensor core, std::vector<Matrix> factors);
+
+  [[nodiscard]] const Dims& data_dims() const { return data_dims_; }
+
+  /// X̃(i1, ..., iN): one element, O(prod Rn) flops.
+  [[nodiscard]] double element(std::span<const std::size_t> index) const;
+
+  /// The mode-n fiber through \p index: values for all in in [0, In) with
+  /// the other indices fixed. O(prod Rn * In) flops.
+  [[nodiscard]] std::vector<double> fiber(int mode,
+                                          std::span<const std::size_t> index)
+      const;
+
+ private:
+  Tensor core_;
+  std::vector<Matrix> factors_;
+  Dims data_dims_;
+
+  /// Contract the core with one factor row per mode in `skip`-aware order;
+  /// returns the remaining tensor (used by both queries).
+  [[nodiscard]] Tensor contract_rows(std::span<const std::size_t> index,
+                                     int skip_mode) const;
+};
+
+}  // namespace ptucker::core

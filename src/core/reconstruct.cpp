@@ -1,0 +1,74 @@
+#include "core/reconstruct.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ptucker::core {
+
+namespace {
+
+DistTensor reconstruct_with_factors(const TuckerTensor& model,
+                                    const std::vector<Matrix>& factors,
+                                    dist::TtmAlgo algo,
+                                    util::KernelTimers* timers) {
+  // Multiply small modes first: applying the factor with the smallest
+  // output/input growth early keeps intermediates small.
+  const int order = model.order();
+  std::vector<int> mode_order(static_cast<std::size_t>(order));
+  std::iota(mode_order.begin(), mode_order.end(), 0);
+  std::stable_sort(mode_order.begin(), mode_order.end(), [&](int a, int b) {
+    const auto& fa = factors[static_cast<std::size_t>(a)];
+    const auto& fb = factors[static_cast<std::size_t>(b)];
+    const double ga = static_cast<double>(fa.rows()) /
+                      static_cast<double>(std::max<std::size_t>(1, fa.cols()));
+    const double gb = static_cast<double>(fb.rows()) /
+                      static_cast<double>(std::max<std::size_t>(1, fb.cols()));
+    return ga < gb;
+  });
+  std::vector<const Matrix*> ptrs(static_cast<std::size_t>(order));
+  for (int n = 0; n < order; ++n) {
+    ptrs[static_cast<std::size_t>(n)] = &factors[static_cast<std::size_t>(n)];
+  }
+  return dist::ttm_chain(model.core, ptrs, mode_order, algo, timers);
+}
+
+}  // namespace
+
+DistTensor reconstruct(const TuckerTensor& model, dist::TtmAlgo algo,
+                       util::KernelTimers* timers) {
+  return reconstruct_with_factors(model, model.factors, algo, timers);
+}
+
+DistTensor reconstruct_subtensor(
+    const TuckerTensor& model,
+    const std::vector<std::vector<std::size_t>>& index_sets,
+    dist::TtmAlgo algo, util::KernelTimers* timers) {
+  PT_REQUIRE(index_sets.size() == static_cast<std::size_t>(model.order()),
+             "reconstruct_subtensor: one index set per mode required");
+  std::vector<Matrix> sub_factors(index_sets.size());
+  for (std::size_t n = 0; n < index_sets.size(); ++n) {
+    const Matrix& u = model.factors[n];
+    if (index_sets[n].empty()) {
+      sub_factors[n] = u;
+    } else {
+      sub_factors[n] = u.row_subset(std::span<const std::size_t>(
+          index_sets[n].data(), index_sets[n].size()));
+    }
+  }
+  return reconstruct_with_factors(model, sub_factors, algo, timers);
+}
+
+DistTensor reconstruct_range(const TuckerTensor& model,
+                             const std::vector<util::Range>& ranges,
+                             dist::TtmAlgo algo, util::KernelTimers* timers) {
+  PT_REQUIRE(ranges.size() == static_cast<std::size_t>(model.order()),
+             "reconstruct_range: one range per mode required");
+  std::vector<std::vector<std::size_t>> index_sets(ranges.size());
+  for (std::size_t n = 0; n < ranges.size(); ++n) {
+    index_sets[n].resize(ranges[n].size());
+    std::iota(index_sets[n].begin(), index_sets[n].end(), ranges[n].lo);
+  }
+  return reconstruct_subtensor(model, index_sets, algo, timers);
+}
+
+}  // namespace ptucker::core

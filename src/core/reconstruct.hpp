@@ -1,0 +1,36 @@
+#pragma once
+/// \file reconstruct.hpp
+/// \brief Reconstruction from a Tucker model (paper Sec. II-C):
+/// X̃ = G x1 U(1) ... xN U(N), and partial reconstruction of arbitrary
+/// sub-tensors using row subsets of the factors — the paper's key analysis
+/// feature ("extract only the reconstruction of a single species, a few
+/// time steps, a coarser grid, a subset of the grid").
+
+#include "core/tucker_tensor.hpp"
+#include "dist/ttm.hpp"
+
+namespace ptucker::core {
+
+/// Full reconstruction (collective): returns an In1 x ... x InN distributed
+/// tensor on the same grid as the core.
+[[nodiscard]] DistTensor reconstruct(const TuckerTensor& model,
+                                     dist::TtmAlgo algo = dist::TtmAlgo::Auto,
+                                     util::KernelTimers* timers = nullptr);
+
+/// Partial reconstruction: only the given global indices of each mode are
+/// produced (empty selection = all indices of that mode). The result is a
+/// |sel_1| x ... x |sel_N| distributed tensor. Cost scales with the output
+/// size, never with prod(In).
+[[nodiscard]] DistTensor reconstruct_subtensor(
+    const TuckerTensor& model,
+    const std::vector<std::vector<std::size_t>>& index_sets,
+    dist::TtmAlgo algo = dist::TtmAlgo::Auto,
+    util::KernelTimers* timers = nullptr);
+
+/// Convenience overload for contiguous ranges.
+[[nodiscard]] DistTensor reconstruct_range(
+    const TuckerTensor& model, const std::vector<util::Range>& ranges,
+    dist::TtmAlgo algo = dist::TtmAlgo::Auto,
+    util::KernelTimers* timers = nullptr);
+
+}  // namespace ptucker::core

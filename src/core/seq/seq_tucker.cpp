@@ -1,0 +1,189 @@
+#include "core/seq/seq_tucker.hpp"
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/metrics.hpp"
+#include "dist/eigenvectors.hpp"
+
+namespace ptucker::core::seq {
+
+namespace {
+
+/// Leading left singular subspace of the mode-n unfolding of y, with rank
+/// chosen by tail threshold or fixed. Returns (U, spectrum) where spectrum
+/// holds Gram eigenvalues (squared singular values) descending.
+std::pair<Matrix, std::vector<double>> leading_factor(
+    const Tensor& y, int mode, FactorMethod method, std::size_t fixed_rank,
+    double tail_threshold) {
+  const std::size_t jn = y.dim(mode);
+  std::vector<double> spectrum;
+  Matrix basis;  // jn x jn orthonormal columns, leading first
+
+  const tensor::UnfoldShape pre = tensor::unfold_shape(y.dims(), mode);
+  if (method == FactorMethod::SvdQr && pre.left * pre.right < jn) {
+    // QR route needs a wide unfolding; degenerate shapes use the Gram route.
+    method = FactorMethod::GramEig;
+  }
+  if (method == FactorMethod::SvdQr) {
+    // Materialize the unfolding (rows = jn) and run the Sec. IX path. The
+    // unfolding copy is affordable sequentially; the distributed code never
+    // does this.
+    const tensor::UnfoldShape s = tensor::unfold_shape(y.dims(), mode);
+    Matrix unf(jn, s.left * s.right);
+    for (std::size_t r = 0; r < s.right; ++r) {
+      for (std::size_t m = 0; m < s.mid; ++m) {
+        for (std::size_t l = 0; l < s.left; ++l) {
+          unf(m, l + r * s.left) = y[l + m * s.left + r * s.left * s.mid];
+        }
+      }
+    }
+    la::LeftSvd svd = la::left_svd_via_qr(unf.data(), jn, unf.cols(), jn);
+    spectrum.resize(jn);
+    for (std::size_t i = 0; i < jn; ++i) {
+      spectrum[i] = svd.singular_values[i] * svd.singular_values[i];
+    }
+    basis = Matrix(jn, jn);
+    blas::copy(svd.u.size(), svd.u.data(), basis.data());
+  } else {
+    const Matrix gram = tensor::local_gram(y, mode);
+    la::SymEig eig = (method == FactorMethod::GramJacobi)
+                         ? la::eig_sym_jacobi(gram.data(), jn, jn)
+                         : la::eig_sym(gram.data(), jn, jn);
+    spectrum = std::move(eig.values);
+    basis = Matrix(jn, jn);
+    blas::copy(eig.vectors.size(), eig.vectors.data(), basis.data());
+  }
+
+  const std::size_t rank =
+      fixed_rank > 0
+          ? std::min(fixed_rank, jn)
+          : dist::select_rank_by_tail(spectrum, tail_threshold);
+  Matrix u = basis.col_block(util::Range{0, rank});
+  // Sign canonicalization matching the distributed eigenvector kernel.
+  for (std::size_t j = 0; j < u.cols(); ++j) {
+    double* col = u.col(j);
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < u.rows(); ++i) {
+      if (std::fabs(col[i]) > std::fabs(col[argmax])) argmax = i;
+    }
+    if (col[argmax] < 0.0) blas::scal(u.rows(), -1.0, col);
+  }
+  return {std::move(u), std::move(spectrum)};
+}
+
+}  // namespace
+
+double SeqTucker::compression_ratio() const {
+  Dims dims(factors.size());
+  Dims ranks(factors.size());
+  for (std::size_t n = 0; n < factors.size(); ++n) {
+    dims[n] = factors[n].rows();
+    ranks[n] = factors[n].cols();
+  }
+  return core::compression_ratio(dims, ranks);
+}
+
+SeqResult seq_st_hosvd(const Tensor& x, const SeqOptions& options) {
+  const int order = x.order();
+  SeqResult result;
+  result.norm_x = x.norm();
+  const double norm_sq = result.norm_x * result.norm_x;
+  const double tail_threshold =
+      options.epsilon * options.epsilon * norm_sq / static_cast<double>(order);
+  result.mode_order_used =
+      resolve_mode_order(options.order_strategy, x.dims(), options.fixed_ranks,
+                         options.custom_order);
+  result.mode_eigenvalues.resize(static_cast<std::size_t>(order));
+  result.tucker.factors.resize(static_cast<std::size_t>(order));
+
+  Tensor y = x;
+  double tail_total = 0.0;
+  for (int n : result.mode_order_used) {
+    const std::size_t fixed =
+        options.fixed_ranks.empty()
+            ? 0
+            : options.fixed_ranks[static_cast<std::size_t>(n)];
+    auto [u, spectrum] =
+        leading_factor(y, n, options.method, fixed, tail_threshold);
+    for (std::size_t i = u.cols(); i < spectrum.size(); ++i) {
+      tail_total += std::max(0.0, spectrum[i]);
+    }
+    result.mode_eigenvalues[static_cast<std::size_t>(n)] = std::move(spectrum);
+    y = tensor::local_ttm(y, u.transposed(), n);
+    result.tucker.factors[static_cast<std::size_t>(n)] = std::move(u);
+  }
+  result.tucker.core = std::move(y);
+  result.error_bound =
+      result.norm_x > 0.0 ? std::sqrt(tail_total) / result.norm_x : 0.0;
+  return result;
+}
+
+SeqHooiResult seq_hooi(const Tensor& x, const SeqOptions& init_options,
+                       int max_sweeps, double improvement_tol) {
+  SeqResult init = seq_st_hosvd(x, init_options);
+  SeqHooiResult result;
+  result.tucker = std::move(init.tucker);
+  const int order = x.order();
+  const double norm_sq = init.norm_x * init.norm_x;
+
+  std::vector<std::size_t> ranks(static_cast<std::size_t>(order));
+  for (int n = 0; n < order; ++n) {
+    ranks[static_cast<std::size_t>(n)] =
+        result.tucker.factors[static_cast<std::size_t>(n)].cols();
+  }
+  auto rel_err_sq = [&](double core_sq) {
+    return std::max(0.0, norm_sq - core_sq) / (norm_sq > 0.0 ? norm_sq : 1.0);
+  };
+  double err_sq = rel_err_sq(result.tucker.core.norm_squared());
+  result.error_history.push_back(std::sqrt(err_sq));
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    Tensor y;
+    for (int n = 0; n < order; ++n) {
+      y = x;
+      for (int m = 0; m < order; ++m) {
+        if (m == n) continue;
+        y = tensor::local_ttm(
+            y, result.tucker.factors[static_cast<std::size_t>(m)].transposed(),
+            m);
+      }
+      auto [u, spectrum] = leading_factor(
+          y, n, init_options.method, ranks[static_cast<std::size_t>(n)], 0.0);
+      (void)spectrum;
+      result.tucker.factors[static_cast<std::size_t>(n)] = std::move(u);
+    }
+    result.tucker.core = tensor::local_ttm(
+        y,
+        result.tucker.factors[static_cast<std::size_t>(order - 1)].transposed(),
+        order - 1);
+    const double new_err_sq = rel_err_sq(result.tucker.core.norm_squared());
+    result.error_history.push_back(std::sqrt(new_err_sq));
+    result.sweeps = sweep + 1;
+    const double improvement = err_sq - new_err_sq;
+    err_sq = new_err_sq;
+    if (improvement < improvement_tol) break;
+  }
+  return result;
+}
+
+Tensor seq_reconstruct(const SeqTucker& model) {
+  Tensor y = model.core;
+  for (std::size_t n = 0; n < model.factors.size(); ++n) {
+    y = tensor::local_ttm(y, model.factors[n], static_cast<int>(n));
+  }
+  return y;
+}
+
+double seq_normalized_error(const Tensor& x, const Tensor& x_tilde) {
+  PT_REQUIRE(x.dims() == x_tilde.dims(), "seq error: dims mismatch");
+  double diff_sq = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - x_tilde[i];
+    diff_sq += d * d;
+  }
+  const double norm_sq = x.norm_squared();
+  return norm_sq > 0.0 ? std::sqrt(diff_sq / norm_sq) : std::sqrt(diff_sq);
+}
+
+}  // namespace ptucker::core::seq

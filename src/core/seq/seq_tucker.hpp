@@ -1,0 +1,72 @@
+#pragma once
+/// \file seq_tucker.hpp
+/// \brief Sequential reference Tucker implementation.
+///
+/// A single-rank, communication-free ST-HOSVD / HOOI / reconstruction stack
+/// built directly on the local kernels. It serves three purposes:
+///  1. cross-validation oracle for the distributed algorithms (the property
+///     tests demand bit-for-bit-comparable errors across all grids),
+///  2. the single-node baseline for the scaling benches, and
+///  3. the Sec. IX ablation host for the Gram-free SVD factor computation.
+
+#include "core/mode_order.hpp"
+#include "lapack/lapack.hpp"
+#include "tensor/local_kernels.hpp"
+
+namespace ptucker::core::seq {
+
+using tensor::Dims;
+using tensor::Matrix;
+using tensor::Tensor;
+
+enum class FactorMethod {
+  GramEig,    ///< Gram matrix + symmetric eigensolver (paper default)
+  GramJacobi, ///< Gram matrix + Jacobi eigensolver
+  SvdQr,      ///< QR of the unfolding's transpose + small SVD (Sec. IX)
+};
+
+struct SeqTucker {
+  Tensor core;
+  std::vector<Matrix> factors;
+
+  [[nodiscard]] Dims core_dims() const { return core.dims(); }
+  [[nodiscard]] double compression_ratio() const;
+};
+
+struct SeqOptions {
+  double epsilon = 1e-3;
+  std::vector<std::size_t> fixed_ranks;
+  ModeOrderStrategy order_strategy = ModeOrderStrategy::Natural;
+  std::vector<int> custom_order;
+  FactorMethod method = FactorMethod::GramEig;
+};
+
+struct SeqResult {
+  SeqTucker tucker;
+  std::vector<std::vector<double>> mode_eigenvalues;  ///< by mode
+  std::vector<int> mode_order_used;
+  double norm_x = 0.0;
+  double error_bound = 0.0;
+};
+
+[[nodiscard]] SeqResult seq_st_hosvd(const Tensor& x,
+                                     const SeqOptions& options = {});
+
+struct SeqHooiResult {
+  SeqTucker tucker;
+  std::vector<double> error_history;
+  int sweeps = 0;
+};
+
+[[nodiscard]] SeqHooiResult seq_hooi(const Tensor& x,
+                                     const SeqOptions& init_options = {},
+                                     int max_sweeps = 10,
+                                     double improvement_tol = 1e-6);
+
+[[nodiscard]] Tensor seq_reconstruct(const SeqTucker& model);
+
+/// ‖X − X̃‖ / ‖X‖ for two plain tensors.
+[[nodiscard]] double seq_normalized_error(const Tensor& x,
+                                          const Tensor& x_tilde);
+
+}  // namespace ptucker::core::seq

@@ -1,0 +1,70 @@
+#include "core/st_hosvd.hpp"
+
+#include <cmath>
+
+namespace ptucker::core {
+
+SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
+  const int order = x.order();
+  PT_REQUIRE(options.fixed_ranks.empty() ||
+                 static_cast<int>(options.fixed_ranks.size()) == order,
+             "st_hosvd: fixed_ranks must have one entry per mode");
+  PT_REQUIRE(options.epsilon >= 0.0, "st_hosvd: epsilon must be >= 0");
+
+  SthosvdResult result;
+  result.norm_x_sq = x.norm_squared();
+  result.norm_x = std::sqrt(result.norm_x_sq);
+  result.mode_eigenvalues.resize(static_cast<std::size_t>(order));
+  result.mode_order_used = resolve_mode_order(
+      options.order_strategy, x.global_dims(), options.fixed_ranks,
+      options.custom_order);
+
+  // Tail threshold per mode: eps^2 ||X||^2 / N (Alg. 1 line 5).
+  const double tail_threshold =
+      options.epsilon * options.epsilon * result.norm_x_sq /
+      static_cast<double>(order);
+
+  result.tucker.factors.resize(static_cast<std::size_t>(order));
+  DistTensor y = x.clone();
+  double tail_total = 0.0;
+
+  for (int n : result.mode_order_used) {
+    const dist::RankSelection select =
+        options.fixed_ranks.empty()
+            ? dist::RankSelection::threshold(tail_threshold)
+            : dist::RankSelection::fixed_rank(
+                  options.fixed_ranks[static_cast<std::size_t>(n)]);
+    dist::FactorResult factor;
+    if (options.factor_method == FactorMethod::TsqrSvd &&
+        dist::tsqr_applicable(y, n)) {
+      factor = dist::factor_via_tsqr(y, n, select, options.timers);
+    } else {
+      if (options.factor_method == FactorMethod::TsqrSvd) {
+        result.tsqr_fallback_modes.push_back(n);
+      }
+      const dist::GramColumns s =
+          dist::gram(y, n, options.gram_algo, options.timers);
+      factor = dist::eigenvectors(s, y.grid(), n, select, options.eig_algo,
+                                  options.timers);
+    }
+
+    // Account the truncated tail toward the eq. (3) error bound.
+    for (std::size_t i = factor.rank; i < factor.eigenvalues.size(); ++i) {
+      tail_total += std::max(0.0, factor.eigenvalues[i]);
+    }
+    result.mode_eigenvalues[static_cast<std::size_t>(n)] =
+        factor.eigenvalues;
+
+    // Truncate: Y <- Y x_n U^T.
+    const Matrix ut = factor.u.transposed();
+    y = dist::ttm(y, ut, n, options.ttm_algo, options.timers);
+    result.tucker.factors[static_cast<std::size_t>(n)] = std::move(factor.u);
+  }
+
+  result.tucker.core = std::move(y);
+  result.error_bound =
+      result.norm_x > 0.0 ? std::sqrt(tail_total) / result.norm_x : 0.0;
+  return result;
+}
+
+}  // namespace ptucker::core

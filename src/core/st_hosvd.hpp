@@ -1,0 +1,67 @@
+#pragma once
+/// \file st_hosvd.hpp
+/// \brief Sequentially-truncated HOSVD (paper Alg. 1) — the workhorse of the
+/// compression pipeline and the initializer for HOOI.
+///
+/// For each mode (in a configurable order): form the Gram matrix of the
+/// current working tensor's unfolding, take its leading eigenvectors as the
+/// factor, pick the rank from the eps^2 ||X||^2 / N tail criterion (or use a
+/// fixed rank), and truncate the working tensor with a TTM by the transposed
+/// factor. After all modes, the working tensor is the core. Satisfies
+/// ‖X − X̃‖ <= eps ‖X‖ (paper eq. 3).
+
+#include "core/mode_order.hpp"
+#include "core/tucker_tensor.hpp"
+#include "dist/eigenvectors.hpp"
+#include "dist/gram.hpp"
+#include "dist/tsqr.hpp"
+#include "dist/ttm.hpp"
+
+namespace ptucker::core {
+
+/// How each factor matrix is computed.
+enum class FactorMethod {
+  GramEig,  ///< Gram matrix + symmetric eigensolver (paper default)
+  TsqrSvd,  ///< Gram-free TSQR + small SVD (Sec. IX); needs Pn == 1 for the
+            ///< mode — falls back to GramEig otherwise (recorded in result)
+};
+
+struct SthosvdOptions {
+  /// Relative error target eps; used when fixed_ranks is empty.
+  double epsilon = 1e-3;
+  /// Fixed target ranks (one per mode); overrides epsilon when non-empty.
+  std::vector<std::size_t> fixed_ranks;
+
+  ModeOrderStrategy order_strategy = ModeOrderStrategy::Natural;
+  std::vector<int> custom_order;  ///< used when order_strategy == Custom
+
+  dist::TtmAlgo ttm_algo = dist::TtmAlgo::Auto;
+  dist::GramAlgo gram_algo = dist::GramAlgo::Auto;
+  dist::EigAlgo eig_algo = dist::EigAlgo::TridiagonalQL;
+  FactorMethod factor_method = FactorMethod::GramEig;
+
+  /// Optional per-kernel per-mode timing sink (Fig. 8 breakdowns).
+  util::KernelTimers* timers = nullptr;
+};
+
+struct SthosvdResult {
+  TuckerTensor tucker;
+  /// Eigen-spectrum of the Gram matrix seen when each mode was processed,
+  /// indexed by mode (not by processing position). For the first processed
+  /// mode this is the spectrum of X(n) X(n)^T itself (Fig. 6 data).
+  std::vector<std::vector<double>> mode_eigenvalues;
+  std::vector<int> mode_order_used;
+  /// Modes where FactorMethod::TsqrSvd was requested but Pn > 1 forced the
+  /// Gram route (empty when the method ran everywhere or wasn't requested).
+  std::vector<int> tsqr_fallback_modes;
+  double norm_x = 0.0;       ///< ‖X‖
+  double norm_x_sq = 0.0;    ///< ‖X‖²
+  /// Upper bound on ‖X − X̃‖ / ‖X‖ from the truncated eigenvalue tails
+  /// (paper eq. 3).
+  double error_bound = 0.0;
+};
+
+[[nodiscard]] SthosvdResult st_hosvd(const DistTensor& x,
+                                     const SthosvdOptions& options = {});
+
+}  // namespace ptucker::core

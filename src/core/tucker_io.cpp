@@ -1,0 +1,92 @@
+#include "core/tucker_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "mps/collectives.hpp"
+#include "tensor/tensor_io.hpp"
+
+namespace ptucker::core {
+
+namespace {
+constexpr std::uint64_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PT_REQUIRE(is.good(), "tucker_io: truncated stream");
+  return v;
+}
+}  // namespace
+
+void save_tucker(const std::string& path, const TuckerTensor& model) {
+  const Tensor core = model.core.gather(0);
+  if (model.core.grid().comm().rank() != 0) return;
+  std::ofstream os(path, std::ios::binary);
+  PT_REQUIRE(os.good(), "tucker_io: cannot open " << path);
+  os.write("PTKR", 4);
+  write_u64(os, kVersion);
+  write_u64(os, static_cast<std::uint64_t>(model.order()));
+  tensor::write_tensor(os, core);
+  for (const Matrix& u : model.factors) tensor::write_matrix(os, u);
+  PT_REQUIRE(os.good(), "tucker_io: write failed");
+}
+
+TuckerTensor load_tucker(const std::string& path,
+                         std::shared_ptr<mps::CartGrid> grid) {
+  const mps::Comm& comm = grid->comm();
+  Tensor core;
+  std::vector<Matrix> factors;
+  std::uint64_t order = 0;
+  if (comm.rank() == 0) {
+    std::ifstream is(path, std::ios::binary);
+    PT_REQUIRE(is.good(), "tucker_io: cannot open " << path);
+    char magic[4] = {};
+    is.read(magic, 4);
+    PT_REQUIRE(is.good() && std::memcmp(magic, "PTKR", 4) == 0,
+               "tucker_io: bad magic in " << path);
+    const std::uint64_t version = read_u64(is);
+    PT_REQUIRE(version == kVersion, "tucker_io: unsupported version");
+    order = read_u64(is);
+    core = tensor::read_tensor(is);
+    factors.reserve(order);
+    for (std::uint64_t n = 0; n < order; ++n) {
+      factors.push_back(tensor::read_matrix(is));
+    }
+  }
+  mps::broadcast(comm, std::span<std::uint64_t>(&order, 1), 0);
+
+  TuckerTensor model;
+  model.core = dist::DistTensor::scatter(grid, core, 0);
+  model.factors.resize(order);
+  for (std::uint64_t n = 0; n < order; ++n) {
+    std::uint64_t shape[2] = {0, 0};
+    if (comm.rank() == 0) {
+      shape[0] = factors[n].rows();
+      shape[1] = factors[n].cols();
+    }
+    mps::broadcast(comm, std::span<std::uint64_t>(shape, 2), 0);
+    Matrix u(shape[0], shape[1]);
+    if (comm.rank() == 0) u = std::move(factors[n]);
+    mps::broadcast(comm, u.span(), 0);
+    model.factors[n] = std::move(u);
+  }
+  return model;
+}
+
+std::size_t serialized_bytes(const TuckerTensor& model) {
+  // Header + core header/payload + factor headers/payloads.
+  std::size_t bytes = 4 + 2 * sizeof(std::uint64_t);
+  bytes += 4 + sizeof(std::uint64_t) * (1 + model.core.global_dims().size()) +
+           sizeof(double) * tensor::prod(model.core.global_dims());
+  for (const Matrix& u : model.factors) {
+    bytes += 4 + 2 * sizeof(std::uint64_t) + sizeof(double) * u.size();
+  }
+  return bytes;
+}
+
+}  // namespace ptucker::core

@@ -1,0 +1,29 @@
+#pragma once
+/// \file tucker_io.hpp
+/// \brief Persistence of compressed Tucker models.
+///
+/// The compressed artifact is what a simulation pipeline would actually
+/// archive or transfer: the core tensor plus factor matrices (plus the
+/// normalization statistics if the caller saves them separately). The file
+/// is written by rank 0 after gathering the distributed core.
+///
+/// Format: "PTKR" | u64 version | u64 order | tensor core | matrix U(1..N).
+
+#include <string>
+
+#include "core/tucker_tensor.hpp"
+
+namespace ptucker::core {
+
+/// Collective: gathers the core to rank 0 and writes the model file there.
+void save_tucker(const std::string& path, const TuckerTensor& model);
+
+/// Collective: rank 0 reads the file; core is scattered onto \p grid and
+/// factors broadcast to all ranks.
+[[nodiscard]] TuckerTensor load_tucker(const std::string& path,
+                                       std::shared_ptr<mps::CartGrid> grid);
+
+/// Size in bytes of the serialized model (for compression reporting).
+[[nodiscard]] std::size_t serialized_bytes(const TuckerTensor& model);
+
+}  // namespace ptucker::core

@@ -1,0 +1,28 @@
+#include "core/tucker_tensor.hpp"
+
+namespace ptucker::core {
+
+Dims TuckerTensor::data_dims() const {
+  Dims dims(factors.size());
+  for (std::size_t n = 0; n < factors.size(); ++n) {
+    dims[n] = factors[n].rows();
+  }
+  return dims;
+}
+
+std::size_t TuckerTensor::compressed_elements() const {
+  std::size_t total = tensor::prod(core.global_dims());
+  for (const Matrix& u : factors) total += u.rows() * u.cols();
+  return total;
+}
+
+std::size_t TuckerTensor::original_elements() const {
+  return tensor::prod(data_dims());
+}
+
+double TuckerTensor::compression_ratio() const {
+  return static_cast<double>(original_elements()) /
+         static_cast<double>(compressed_elements());
+}
+
+}  // namespace ptucker::core

@@ -1,0 +1,167 @@
+#include "costmodel/tucker_model.hpp"
+
+#include <cmath>
+
+#include "costmodel/collective_model.hpp"
+#include "mps/cart.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::costmodel {
+
+namespace {
+
+double dprod(const Dims& dims) {
+  double p = 1.0;
+  for (std::size_t d : dims) p *= static_cast<double>(d);
+  return p;
+}
+
+double grid_size(const std::vector<int>& grid) {
+  double p = 1.0;
+  for (int g : grid) p *= static_cast<double>(g);
+  return p;
+}
+
+double log2_ceil(int p) {
+  double l = 0.0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    l += 1.0;
+  }
+  return l;
+}
+
+}  // namespace
+
+KernelCost ttm_cost(const Dims& dims, std::size_t k, int mode,
+                    const std::vector<int>& grid) {
+  PT_REQUIRE(dims.size() == grid.size(), "ttm_cost: order mismatch");
+  const double j = dprod(dims);
+  const double p = grid_size(grid);
+  const double pn = static_cast<double>(grid[static_cast<std::size_t>(mode)]);
+  const double jn = static_cast<double>(dims[static_cast<std::size_t>(mode)]);
+  const double jhat = j / jn;
+  KernelCost cost;
+  cost.flops = 2.0 * j * static_cast<double>(k) / p;
+  cost.messages = pn * log2_ceil(static_cast<int>(pn));
+  cost.words = (pn - 1.0) * jhat * static_cast<double>(k) / p;
+  return cost;
+}
+
+KernelCost gram_cost(const Dims& dims, int mode,
+                     const std::vector<int>& grid) {
+  PT_REQUIRE(dims.size() == grid.size(), "gram_cost: order mismatch");
+  const double j = dprod(dims);
+  const double p = grid_size(grid);
+  const double pn = static_cast<double>(grid[static_cast<std::size_t>(mode)]);
+  const double phat = p / pn;
+  const double jn = static_cast<double>(dims[static_cast<std::size_t>(mode)]);
+  KernelCost cost;
+  cost.flops = 2.0 * jn * j / p;
+  // Ring shift of the local tensor (Pn-1 exchanges of J/P words) + the
+  // all-reduce of the Jn x Jn/Pn block column across the processor row.
+  cost.messages = 2.0 * (pn - 1.0) + 2.0 * log2_ceil(static_cast<int>(phat));
+  cost.words =
+      2.0 * (pn - 1.0) * j / p + 2.0 * (phat - 1.0) * jn * jn / p;
+  return cost;
+}
+
+KernelCost evecs_cost(std::size_t in, int mode, const std::vector<int>& grid) {
+  const double pn = static_cast<double>(grid[static_cast<std::size_t>(mode)]);
+  const double din = static_cast<double>(in);
+  KernelCost cost;
+  cost.flops = (10.0 / 3.0) * din * din * din;
+  cost.messages = log2_ceil(static_cast<int>(pn));
+  cost.words = (pn - 1.0) / pn * din * din;
+  return cost;
+}
+
+KernelCost sthosvd_cost(const Dims& dims, const Dims& ranks,
+                        const std::vector<int>& grid,
+                        const std::vector<int>& order) {
+  PT_REQUIRE(dims.size() == ranks.size() && dims.size() == grid.size(),
+             "sthosvd_cost: order mismatch");
+  Dims work = dims;
+  KernelCost total;
+  for (int n : order) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    total += gram_cost(work, n, grid);
+    total += evecs_cost(work[un], n, grid);
+    total += ttm_cost(work, ranks[un], n, grid);
+    work[un] = ranks[un];
+  }
+  return total;
+}
+
+KernelCost hooi_sweep_cost(const Dims& dims, const Dims& ranks,
+                           const std::vector<int>& grid) {
+  const int order = static_cast<int>(dims.size());
+  KernelCost total;
+  for (int n = 0; n < order; ++n) {
+    // Multi-TTM: start from X, multiply every mode but n (natural order).
+    Dims work = dims;
+    for (int m = 0; m < order; ++m) {
+      if (m == n) continue;
+      const std::size_t um = static_cast<std::size_t>(m);
+      total += ttm_cost(work, ranks[um], m, grid);
+      work[um] = ranks[um];
+    }
+    total += gram_cost(work, n, grid);
+    total += evecs_cost(work[static_cast<std::size_t>(n)], n, grid);
+    if (n == order - 1) {
+      // Final core TTM (Alg. 2 line 9).
+      total += ttm_cost(work, ranks[static_cast<std::size_t>(n)], n, grid);
+    }
+  }
+  return total;
+}
+
+double memory_bound_per_rank(const Dims& dims, const Dims& ranks,
+                             const std::vector<int>& grid) {
+  const double p = grid_size(grid);
+  double bound = 2.0 * dprod(dims) / p;
+  double max_in_sq = 0.0;
+  double max_rn_in = 0.0;
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    const double in = static_cast<double>(dims[n]);
+    const double rn = static_cast<double>(ranks[n]);
+    const double pn = static_cast<double>(grid[n]);
+    bound += rn * in / pn;
+    max_in_sq = std::max(max_in_sq, in * in);
+    max_rn_in = std::max(max_rn_in, rn * in);
+  }
+  return bound + max_in_sq + max_rn_in;
+}
+
+double sthosvd_flops(const Dims& dims, const Dims& ranks,
+                     const std::vector<int>& order) {
+  const std::vector<int> unit_grid(dims.size(), 1);
+  return sthosvd_cost(dims, ranks, unit_grid, order).flops;
+}
+
+std::vector<int> best_grid(const Dims& dims, const Dims& ranks, int p,
+                           const Machine& machine) {
+  PT_REQUIRE(p >= 1, "best_grid: p must be >= 1");
+  std::vector<int> order(dims.size());
+  for (std::size_t n = 0; n < dims.size(); ++n) order[n] = static_cast<int>(n);
+  std::vector<int> best;
+  double best_seconds = 0.0;
+  for (const auto& shape : mps::all_grid_shapes(p, static_cast<int>(dims.size()))) {
+    bool feasible = true;
+    for (std::size_t n = 0; n < dims.size(); ++n) {
+      if (static_cast<std::size_t>(shape[n]) > dims[n]) feasible = false;
+    }
+    if (!feasible) continue;
+    const double seconds =
+        machine.seconds(sthosvd_cost(dims, ranks, shape, order));
+    if (best.empty() || seconds < best_seconds) {
+      best = shape;
+      best_seconds = seconds;
+    }
+  }
+  PT_REQUIRE(!best.empty(), "best_grid: no feasible grid for p = " << p);
+  return best;
+}
+
+}  // namespace ptucker::costmodel

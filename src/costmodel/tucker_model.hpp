@@ -1,0 +1,84 @@
+#pragma once
+/// \file tucker_model.hpp
+/// \brief Analytical cost model for the parallel Tucker kernels and drivers
+/// (paper Sec. V-B/C/D and Sec. VI), used for grid auto-tuning, model
+/// validation tests, and the peak-fraction reporting of the scaling benches.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ptucker::costmodel {
+
+using tensor::Dims;
+
+/// Per-rank critical-path cost of one kernel invocation.
+struct KernelCost {
+  double flops = 0.0;
+  double words = 0.0;     ///< beta multiplier
+  double messages = 0.0;  ///< alpha multiplier
+
+  KernelCost& operator+=(const KernelCost& other) {
+    flops += other.flops;
+    words += other.words;
+    messages += other.messages;
+    return *this;
+  }
+};
+
+/// Machine parameters for converting costs into seconds.
+struct Machine {
+  double alpha = 1e-6;   ///< per-message latency (s)
+  double beta = 1e-9;    ///< per-word transfer time (s/word)
+  double gamma = 2.5e-10; ///< per-flop time (s); ~4 GFLOP/s/core scalar
+  [[nodiscard]] double seconds(const KernelCost& cost) const {
+    return alpha * cost.messages + beta * cost.words + gamma * cost.flops;
+  }
+};
+
+/// Cost of Z = Y x_n M with Y of size dims, M of size K x dims[n]
+/// (paper C_TTM: 2*J*K/P flops, alpha*Pn*logPn, beta*(Pn-1)*Jhat_n*K/P).
+[[nodiscard]] KernelCost ttm_cost(const Dims& dims, std::size_t k, int mode,
+                                  const std::vector<int>& grid);
+
+/// Cost of S = Y(n) Y(n)^T (paper C_GRAM).
+[[nodiscard]] KernelCost gram_cost(const Dims& dims, int mode,
+                                   const std::vector<int>& grid);
+
+/// Cost of the leading-eigenvector computation (paper C_EIG; note the
+/// paper's beta term prints In where the all-gathered matrix actually has
+/// In^2 entries — we model In^2).
+[[nodiscard]] KernelCost evecs_cost(std::size_t in, int mode,
+                                    const std::vector<int>& grid);
+
+/// Total ST-HOSVD cost: sums the three kernels over modes in the given
+/// processing order with the working dims shrinking as the paper's Sec. VI-A
+/// analysis does.
+[[nodiscard]] KernelCost sthosvd_cost(const Dims& dims, const Dims& ranks,
+                                      const std::vector<int>& grid,
+                                      const std::vector<int>& order);
+
+/// Cost of one HOOI sweep (paper Sec. VI-B), mirroring our implementation:
+/// for every mode, a full (N-1)-TTM chain from X, a Gram, an eigensolve;
+/// plus the final core TTM.
+[[nodiscard]] KernelCost hooi_sweep_cost(const Dims& dims, const Dims& ranks,
+                                         const std::vector<int>& grid);
+
+/// Paper eq. (2): per-rank memory upper bound (in doubles) for ST-HOSVD /
+/// HOOI.
+[[nodiscard]] double memory_bound_per_rank(const Dims& dims, const Dims& ranks,
+                                           const std::vector<int>& grid);
+
+/// Sequential flop count for ST-HOSVD (P = 1 grid), used to compute the
+/// GFLOPS figures of the scaling benches.
+[[nodiscard]] double sthosvd_flops(const Dims& dims, const Dims& ranks,
+                                   const std::vector<int>& order);
+
+/// Model-driven grid selection: evaluates the ST-HOSVD cost of every P-rank
+/// grid shape (skipping shapes with an extent exceeding its dim) under the
+/// machine parameters and returns the cheapest. This automates the paper's
+/// Sec. VIII-B manual tuning.
+[[nodiscard]] std::vector<int> best_grid(const Dims& dims, const Dims& ranks,
+                                         int p, const Machine& machine = {});
+
+}  // namespace ptucker::costmodel

@@ -1,0 +1,90 @@
+#include "data/synthetic.hpp"
+
+#include "util/rng.hpp"
+
+namespace ptucker::data {
+
+namespace {
+std::uint64_t mode_seed(std::uint64_t seed, int mode, std::uint64_t salt) {
+  return util::splitmix64(seed ^ (salt + 0x9e37 * static_cast<std::uint64_t>(
+                                                      mode + 1)));
+}
+}  // namespace
+
+Matrix synthetic_factor(std::size_t in, std::size_t rn, std::uint64_t seed,
+                        int mode) {
+  PT_REQUIRE(rn <= in, "synthetic factor needs Rn <= In");
+  return Matrix::random_orthonormal(in, rn, mode_seed(seed, mode, 0xFAC70));
+}
+
+Tensor synthetic_core(const Dims& ranks, std::uint64_t seed) {
+  return Tensor::randn(ranks, util::splitmix64(seed ^ 0xC04Eull));
+}
+
+Tensor make_low_rank_seq(const Dims& dims, const Dims& ranks,
+                         std::uint64_t seed, double noise_level) {
+  PT_REQUIRE(dims.size() == ranks.size(), "dims/ranks order mismatch");
+  Tensor y = synthetic_core(ranks, seed);
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    const Matrix u =
+        synthetic_factor(dims[n], ranks[n], seed, static_cast<int>(n));
+    y = tensor::local_ttm(y, u, static_cast<int>(n));
+  }
+  if (noise_level > 0.0) {
+    const util::CounterRng noise(seed ^ 0x7015Eull);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += noise_level * noise.normal(i);
+    }
+  }
+  return y;
+}
+
+DistTensor make_low_rank(std::shared_ptr<mps::CartGrid> grid,
+                         const Dims& dims, const Dims& ranks,
+                         std::uint64_t seed, double noise_level) {
+  PT_REQUIRE(dims.size() == ranks.size(), "dims/ranks order mismatch");
+  DistTensor x(grid, dims);
+  // Local block = core x_n U(n)[my rows, :] chained over modes — every rank
+  // reproduces the same deterministic global model, then slices it by
+  // multiplying with only its factor row blocks.
+  Tensor y = synthetic_core(ranks, seed);
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    const Matrix u =
+        synthetic_factor(dims[n], ranks[n], seed, static_cast<int>(n));
+    const Matrix u_rows = u.row_block(x.mode_range(static_cast<int>(n)));
+    y = tensor::local_ttm(y, u_rows, static_cast<int>(n));
+  }
+  PT_CHECK(y.dims() == x.local().dims(), "make_low_rank: block mismatch");
+  x.local() = std::move(y);
+
+  if (noise_level > 0.0) {
+    // Counter-based noise keyed by the *global* linear index.
+    const util::CounterRng noise(seed ^ 0x7015Eull);
+    std::vector<std::size_t> strides(dims.size());
+    std::size_t stride = 1;
+    for (std::size_t n = 0; n < dims.size(); ++n) {
+      strides[n] = stride;
+      stride *= dims[n];
+    }
+    Tensor& local = x.local();
+    std::vector<util::Range> ranges(dims.size());
+    for (std::size_t n = 0; n < dims.size(); ++n) {
+      ranges[n] = x.mode_range(static_cast<int>(n));
+    }
+    std::vector<std::size_t> lidx(dims.size(), 0);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      std::size_t gidx = 0;
+      for (std::size_t n = 0; n < dims.size(); ++n) {
+        gidx += (ranges[n].lo + lidx[n]) * strides[n];
+      }
+      local[i] += noise_level * noise.normal(gidx);
+      for (std::size_t n = 0; n < dims.size(); ++n) {
+        if (++lidx[n] < local.dim(static_cast<int>(n))) break;
+        lidx[n] = 0;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace ptucker::data

@@ -1,0 +1,45 @@
+#pragma once
+/// \file synthetic.hpp
+/// \brief Synthetic tensor generators for tests and scaling benches.
+///
+/// The scaling experiments (paper Sec. VIII-D/E) use synthetic data formed
+/// from a Tucker model: a random core of the target reduced dimensions
+/// multiplied by random orthonormal factors, optionally perturbed by white
+/// noise. The generator is deterministic given a seed, and the distributed
+/// variant computes each rank's block locally (no communication, no global
+/// materialization) so 15 TB-style weak-scaling inputs remain feasible in
+/// principle.
+
+#include "dist/dist_tensor.hpp"
+#include "tensor/local_kernels.hpp"
+
+namespace ptucker::data {
+
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Matrix;
+using tensor::Tensor;
+
+/// Deterministic factor used by both the sequential and distributed
+/// generators: orthonormal In x Rn from seed (per mode).
+[[nodiscard]] Matrix synthetic_factor(std::size_t in, std::size_t rn,
+                                      std::uint64_t seed, int mode);
+
+/// Deterministic core tensor (i.i.d. normal entries).
+[[nodiscard]] Tensor synthetic_core(const Dims& ranks, std::uint64_t seed);
+
+/// Full tensor X = G x {U(n)} (+ noise_level * N(0,1) per element).
+[[nodiscard]] Tensor make_low_rank_seq(const Dims& dims, const Dims& ranks,
+                                       std::uint64_t seed,
+                                       double noise_level = 0.0);
+
+/// Distributed X = G x {U(n)} (+ noise): each rank builds its own block by
+/// chaining local TTMs with the row blocks of the shared factors; the noise
+/// field is a counter-based RNG of the global index, so the global tensor
+/// is independent of the processor grid (up to fp rounding in the chain).
+[[nodiscard]] DistTensor make_low_rank(std::shared_ptr<mps::CartGrid> grid,
+                                       const Dims& dims, const Dims& ranks,
+                                       std::uint64_t seed,
+                                       double noise_level = 0.0);
+
+}  // namespace ptucker::data

@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "blas/blas.hpp"
+#include "lapack/lapack.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::la {
+
+namespace detail {
+void sort_eig_descending(SymEig& eig);  // defined in eig.cpp
+}
+
+SymEig eig_sym_jacobi(const double* a, std::size_t n, std::size_t lda) {
+  PT_REQUIRE(n >= 1, "eig_sym_jacobi: empty matrix");
+  // Working copy of A and accumulator V (starts as identity).
+  std::vector<double> w(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    blas::copy(n, a + j * lda, w.data() + j * n);
+  }
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i + i * n] = 1.0;
+
+  auto ww = [&](std::size_t i, std::size_t j) -> double& { return w[i + j * n]; };
+  auto vv = [&](std::size_t i, std::size_t j) -> double& { return v[i + j * n]; };
+
+  const double tol = 1e-14;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) norm += w[i] * w[i];
+  norm = std::sqrt(norm);
+  const double threshold = tol * std::max(norm, 1e-300);
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += ww(p, q) * ww(p, q);
+    }
+    if (std::sqrt(2.0 * off) <= threshold) break;
+    PT_CHECK(sweep < 99, "Jacobi eigensolver failed to converge");
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = ww(p, q);
+        if (std::fabs(apq) <= threshold / (static_cast<double>(n) * n)) {
+          continue;
+        }
+        const double app = ww(p, p);
+        const double aqq = ww(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply rotation R(p,q; c,s) on both sides of W and accumulate in V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = ww(k, p);
+          const double wkq = ww(k, q);
+          ww(k, p) = c * wkp - s * wkq;
+          ww(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = ww(p, k);
+          const double wqk = ww(q, k);
+          ww(p, k) = c * wpk - s * wqk;
+          ww(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = vv(k, p);
+          const double vkq = vv(k, q);
+          vv(k, p) = c * vkp - s * vkq;
+          vv(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymEig eig;
+  eig.n = n;
+  eig.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) eig.values[i] = ww(i, i);
+  eig.vectors = std::move(v);
+  detail::sort_eig_descending(eig);
+  return eig;
+}
+
+JacobiSvd jacobi_svd(const double* a, std::size_t m, std::size_t n,
+                     std::size_t lda) {
+  PT_REQUIRE(m >= n && n >= 1, "jacobi_svd requires m >= n >= 1");
+  JacobiSvd svd;
+  svd.m = m;
+  svd.n = n;
+  svd.u.resize(m * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    blas::copy(m, a + j * lda, svd.u.data() + j * m);
+  }
+  svd.v.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) svd.v[i + i * n] = 1.0;
+  svd.sigma.assign(n, 0.0);
+
+  double* u = svd.u.data();
+  double* v = svd.v.data();
+
+  // One-sided Jacobi: rotate column pairs of U until mutually orthogonal.
+  const double eps = 1e-15;
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double* up = u + p * m;
+        double* uq = u + q * m;
+        const double app = blas::dot(m, up, up);
+        const double aqq = blas::dot(m, uq, uq);
+        const double apq = blas::dot(m, up, uq);
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < m; ++k) {
+          const double ukp = up[k];
+          const double ukq = uq[k];
+          up[k] = c * ukp - s * ukq;
+          uq[k] = s * ukp + c * ukq;
+        }
+        double* vp = v + p * n;
+        double* vq = v + q * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = vp[k];
+          const double vkq = vq[k];
+          vp[k] = c * vkp - s * vkq;
+          vq[k] = s * vkp + c * vkq;
+        }
+      }
+    }
+    if (converged) break;
+    PT_CHECK(sweep < 59, "one-sided Jacobi SVD failed to converge");
+  }
+
+  // Extract singular values, normalize U columns, sort descending.
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t j = 0; j < n; ++j) {
+    svd.sigma[j] = blas::nrm2(m, u + j * m);
+  }
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a_, std::size_t b_) {
+    return svd.sigma[a_] > svd.sigma[b_];
+  });
+  std::vector<double> u_sorted(m * n);
+  std::vector<double> v_sorted(n * n);
+  std::vector<double> s_sorted(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = perm[j];
+    s_sorted[j] = svd.sigma[src];
+    blas::copy(m, u + src * m, u_sorted.data() + j * m);
+    blas::copy(n, v + src * n, v_sorted.data() + j * n);
+    if (s_sorted[j] > 0.0) {
+      blas::scal(m, 1.0 / s_sorted[j], u_sorted.data() + j * m);
+    }
+  }
+  svd.sigma = std::move(s_sorted);
+  svd.u = std::move(u_sorted);
+  svd.v = std::move(v_sorted);
+  return svd;
+}
+
+}  // namespace ptucker::la

@@ -1,0 +1,76 @@
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lapack/lapack.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::la {
+
+void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
+             double* q, std::size_t ldq, double* r, std::size_t ldr) {
+  PT_REQUIRE(m >= n && n >= 1, "qr_thin requires m >= n >= 1");
+
+  // Factor a working copy in place with Householder reflectors
+  // H_j = I - tau_j v_j v_j^T, v_j = [0...0, 1, w]^T.
+  std::vector<double> w(m * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    blas::copy(m, a + j * lda, w.data() + j * m);
+  }
+  std::vector<double> tau(n, 0.0);
+
+  blas::add_flops(2ull * m * n * n);  // classical QR flop estimate 2mn^2
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double* col = w.data() + j * m;
+    const double xnorm = blas::nrm2(m - j, col + j);
+    if (xnorm == 0.0) {
+      tau[j] = 0.0;
+      continue;
+    }
+    const double alpha = col[j];
+    double beta = -std::copysign(xnorm, alpha);
+    tau[j] = (beta - alpha) / beta;
+    const double inv = 1.0 / (alpha - beta);
+    for (std::size_t i = j + 1; i < m; ++i) col[i] *= inv;
+    col[j] = beta;  // R diagonal; v_j below with implicit leading 1
+    // Apply H_j to the trailing columns.
+    for (std::size_t jj = j + 1; jj < n; ++jj) {
+      double* cjj = w.data() + jj * m;
+      double s = cjj[j];
+      for (std::size_t i = j + 1; i < m; ++i) s += col[i] * cjj[i];
+      s *= tau[j];
+      cjj[j] -= s;
+      for (std::size_t i = j + 1; i < m; ++i) cjj[i] -= s * col[i];
+    }
+  }
+
+  // Extract R (upper triangle).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i + j * ldr] = (i <= j) ? w[i + j * m] : 0.0;
+    }
+  }
+
+  // Form thin Q by applying H_0 ... H_{n-1} to the first n identity columns
+  // in reverse order.
+  for (std::size_t j = 0; j < n; ++j) {
+    double* qj = q + j * ldq;
+    std::memset(qj, 0, m * sizeof(double));
+    qj[j] = 1.0;
+  }
+  for (std::size_t j = n; j-- > 0;) {
+    const double* v = w.data() + j * m;
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      double* qjj = q + jj * ldq;
+      double s = qjj[j];
+      for (std::size_t i = j + 1; i < m; ++i) s += v[i] * qjj[i];
+      s *= tau[j];
+      qjj[j] -= s;
+      for (std::size_t i = j + 1; i < m; ++i) qjj[i] -= s * v[i];
+    }
+  }
+}
+
+}  // namespace ptucker::la

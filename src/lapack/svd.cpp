@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lapack/lapack.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::la {
+
+LeftSvd left_svd_via_gram(const double* y, std::size_t rows, std::size_t cols,
+                          std::size_t ldy) {
+  PT_REQUIRE(rows >= 1, "left_svd_via_gram: empty matrix");
+  // S = Y Y^T (rows x rows), then eigendecompose. This is the paper's
+  // default: appropriate when the target accuracy is well above
+  // sqrt(machine epsilon) (Sec. II-B discussion).
+  std::vector<double> s(rows * rows, 0.0);
+  blas::syrk_full(blas::Trans::No, rows, cols, 1.0, y, ldy, 0.0, s.data(),
+                  rows);
+  SymEig eig = eig_sym(s.data(), rows, rows);
+  LeftSvd out;
+  out.rows = rows;
+  out.u = std::move(eig.vectors);
+  out.singular_values.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    out.singular_values[i] = std::sqrt(std::max(0.0, eig.values[i]));
+  }
+  return out;
+}
+
+LeftSvd left_svd_via_qr(const double* y, std::size_t rows, std::size_t cols,
+                        std::size_t ldy) {
+  PT_REQUIRE(cols >= rows && rows >= 1,
+             "left_svd_via_qr expects a wide matrix (rows <= cols)");
+  // Y^T = Q R with Y^T tall (cols x rows); then Y = R^T Q^T, so the left
+  // singular vectors of Y are those of the small square R^T, computed with
+  // a numerically safe one-sided Jacobi SVD (no condition-number squaring).
+  std::vector<double> yt(cols * rows);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      yt[j + i * cols] = y[i + j * ldy];
+    }
+  }
+  std::vector<double> q(cols * rows);
+  std::vector<double> r(rows * rows);
+  qr_thin(yt.data(), cols, rows, cols, q.data(), cols, r.data(), rows);
+
+  // R^T (rows x rows).
+  std::vector<double> rt(rows * rows);
+  for (std::size_t j = 0; j < rows; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      rt[i + j * rows] = r[j + i * rows];
+    }
+  }
+  JacobiSvd svd = jacobi_svd(rt.data(), rows, rows, rows);
+
+  LeftSvd out;
+  out.rows = rows;
+  out.singular_values = std::move(svd.sigma);
+  out.u = std::move(svd.u);
+  return out;
+}
+
+}  // namespace ptucker::la

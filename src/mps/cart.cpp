@@ -1,0 +1,102 @@
+#include "mps/cart.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace ptucker::mps {
+
+CartGrid::CartGrid(Comm comm, std::vector<int> shape)
+    : comm_(std::move(comm)), shape_(std::move(shape)) {
+  PT_REQUIRE(!shape_.empty(), "grid shape must be non-empty");
+  long long product = 1;
+  for (int extent : shape_) {
+    PT_REQUIRE(extent >= 1, "grid extents must be >= 1");
+    product *= extent;
+  }
+  PT_REQUIRE(product == comm_.size(),
+             "grid shape product " << product << " != communicator size "
+                                   << comm_.size());
+  coords_ = coords_of(comm_.rank());
+
+  const int order = this->order();
+  mode_comms_.reserve(static_cast<std::size_t>(order));
+  slice_comms_.reserve(static_cast<std::size_t>(order));
+  for (int n = 0; n < order; ++n) {
+    // mode_comm(n): color = linear index with coordinate n zeroed out,
+    // key = coordinate n, so rank within the sub-communicator == coord(n).
+    std::vector<int> base = coords_;
+    base[static_cast<std::size_t>(n)] = 0;
+    mode_comms_.push_back(comm_.split(rank_of(base), coord(n)));
+
+    // slice_comm(n): color = coordinate n; key = my grid rank to keep a
+    // deterministic ordering.
+    slice_comms_.push_back(comm_.split(coord(n), comm_.rank()));
+  }
+}
+
+int CartGrid::rank_of(const std::vector<int>& coords) const {
+  PT_CHECK(coords.size() == shape_.size(), "rank_of: wrong coordinate count");
+  int rank = 0;
+  for (int n = order() - 1; n >= 0; --n) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    PT_CHECK(coords[un] >= 0 && coords[un] < shape_[un],
+             "rank_of: coordinate " << n << " out of range");
+    rank = rank * shape_[un] + coords[un];
+  }
+  return rank;
+}
+
+std::vector<int> CartGrid::coords_of(int rank) const {
+  std::vector<int> coords(shape_.size());
+  for (std::size_t n = 0; n < shape_.size(); ++n) {
+    coords[n] = rank % shape_[n];
+    rank /= shape_[n];
+  }
+  return coords;
+}
+
+std::vector<std::vector<int>> all_grid_shapes(int p, int order) {
+  std::vector<std::vector<int>> result;
+  std::vector<int> current(static_cast<std::size_t>(order), 1);
+  std::function<void(int, int)> rec = [&](int mode, int remaining) {
+    if (mode == order - 1) {
+      current[static_cast<std::size_t>(mode)] = remaining;
+      result.push_back(current);
+      return;
+    }
+    for (int extent = 1; extent <= remaining; ++extent) {
+      if (remaining % extent != 0) continue;
+      current[static_cast<std::size_t>(mode)] = extent;
+      rec(mode + 1, remaining / extent);
+    }
+  };
+  rec(0, p);
+  return result;
+}
+
+std::vector<std::vector<int>> heuristic_grid_shapes(
+    int p, const std::vector<std::size_t>& dims, std::size_t max_shapes) {
+  auto shapes = all_grid_shapes(p, static_cast<int>(dims.size()));
+  // Score: prefer P1 == 1 (cheap first Gram/TTM, Sec. VIII-B), prefer
+  // extents that divide dims evenly, prefer squat grids (max extent small).
+  auto score = [&](const std::vector<int>& shape) {
+    double s = 0.0;
+    if (shape[0] == 1) s -= 100.0;
+    int max_extent = 1;
+    for (std::size_t n = 0; n < shape.size(); ++n) {
+      max_extent = std::max(max_extent, shape[n]);
+      if (dims[n] % static_cast<std::size_t>(shape[n]) != 0) s += 10.0;
+      if (static_cast<std::size_t>(shape[n]) > dims[n]) s += 1000.0;
+    }
+    s += max_extent;
+    return s;
+  };
+  std::stable_sort(shapes.begin(), shapes.end(),
+                   [&](const auto& a, const auto& b) {
+                     return score(a) < score(b);
+                   });
+  if (shapes.size() > max_shapes) shapes.resize(max_shapes);
+  return shapes;
+}
+
+}  // namespace ptucker::mps

@@ -1,0 +1,75 @@
+#pragma once
+/// \file cart.hpp
+/// \brief N-way Cartesian processor grid (paper Sec. IV).
+///
+/// A CartGrid maps the P ranks of a communicator onto a logical
+/// P1 x P2 x ... x PN grid. Coordinates vary fastest in mode 1, matching the
+/// tensor layout, so the linearization is rank = c1 + P1*(c2 + P2*(...)).
+///
+/// Two families of sub-communicators are exposed, using the paper's terms:
+///  - mode_comm(n): the "processor column" for mode n — ranks that differ
+///    only in coordinate n (size Pn). TTM reduces and Gram shifts happen here.
+///  - slice_comm(n): the "processor row" for mode n — ranks sharing
+///    coordinate n (size P/Pn). The Gram all-reduce happens here.
+
+#include <vector>
+
+#include "mps/collectives.hpp"
+#include "mps/comm.hpp"
+
+namespace ptucker::mps {
+
+class CartGrid {
+ public:
+  /// Collective: builds the grid and all 2N sub-communicators.
+  /// Requires prod(shape) == comm.size().
+  CartGrid(Comm comm, std::vector<int> shape);
+
+  [[nodiscard]] int order() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] int extent(int n) const {
+    return shape_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] const std::vector<int>& coords() const { return coords_; }
+  [[nodiscard]] int coord(int n) const {
+    return coords_[static_cast<std::size_t>(n)];
+  }
+
+  /// The full-grid communicator.
+  [[nodiscard]] const Comm& comm() const { return comm_; }
+
+  /// Ranks varying only in mode n (size Pn); my rank there == coord(n).
+  [[nodiscard]] const Comm& mode_comm(int n) const {
+    return mode_comms_[static_cast<std::size_t>(n)];
+  }
+
+  /// Ranks sharing coordinate n (size P/Pn).
+  [[nodiscard]] const Comm& slice_comm(int n) const {
+    return slice_comms_[static_cast<std::size_t>(n)];
+  }
+
+  /// Grid-rank of given coordinates.
+  [[nodiscard]] int rank_of(const std::vector<int>& coords) const;
+
+  /// Coordinates of a given grid rank.
+  [[nodiscard]] std::vector<int> coords_of(int rank) const;
+
+ private:
+  Comm comm_;
+  std::vector<int> shape_;
+  std::vector<int> coords_;
+  std::vector<Comm> mode_comms_;
+  std::vector<Comm> slice_comms_;
+};
+
+/// All factorizations of \p p into \p order positive extents (every ordered
+/// tuple with product p). Used by the grid-sweep bench (Fig. 8a) and the
+/// auto-tuning shortlist.
+[[nodiscard]] std::vector<std::vector<int>> all_grid_shapes(int p, int order);
+
+/// Heuristic shortlist of grid shapes for a given tensor shape: prefers
+/// P1 = 1 (paper Sec. VIII-B) and extents that divide evenly into dims.
+[[nodiscard]] std::vector<std::vector<int>> heuristic_grid_shapes(
+    int p, const std::vector<std::size_t>& dims, std::size_t max_shapes = 4);
+
+}  // namespace ptucker::mps

@@ -1,0 +1,311 @@
+#pragma once
+/// \file collectives.hpp
+/// \brief Collective operations built on point-to-point messages.
+///
+/// Algorithms follow the classical implementations referenced by the paper
+/// for its Tab. I cost model (Chan et al. 2007, Thakur et al. 2005):
+///  - broadcast / reduce / gather-to-root: binomial trees (any P),
+///  - all-gather / reduce-scatter: bandwidth-optimal rings (any P),
+///  - all-reduce: reduce-scatter + all-gather (Rabenseifner) for large
+///    payloads, reduce + broadcast for latency-bound payloads.
+///
+/// Per-rank injected words for the ring algorithms equal the paper's
+/// (P-1)/P * W beta terms exactly; the cost-model tests assert this.
+///
+/// All functions are collective: every rank of the communicator must call
+/// them in the same order. Reduction operators must be commutative and
+/// associative (floating-point sums are reduced in a deterministic order for
+/// a fixed communicator size, so repeated runs are bitwise reproducible).
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mps/comm.hpp"
+#include "util/blocks.hpp"
+
+namespace ptucker::mps {
+
+/// --- reduction operators ---------------------------------------------------
+
+template <class T>
+struct Sum {
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <class T>
+struct Max {
+  T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+template <class T>
+struct Min {
+  T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+
+namespace detail {
+// Reserved internal tag bases (user tags must be >= 0).
+constexpr int kTagBcast = -2000;
+constexpr int kTagReduce = -3000;
+constexpr int kTagAllGather = -4000;
+constexpr int kTagReduceScatter = -5000;
+constexpr int kTagGather = -6000;
+constexpr int kTagScatter = -7000;
+
+inline std::vector<std::size_t> offsets_from_counts(
+    std::span<const std::size_t> counts) {
+  std::vector<std::size_t> offsets(counts.size() + 1, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i + 1] = offsets[i] + counts[i];
+  }
+  return offsets;
+}
+}  // namespace detail
+
+/// --- broadcast ---------------------------------------------------------------
+
+/// Binomial-tree broadcast of buf from root to all ranks.
+template <class T>
+void broadcast(const Comm& comm, std::span<T> buf, int root) {
+  const int p = comm.size();
+  if (p == 1) return;
+  OpScope scope(OpKind::Broadcast);
+  const int vr = (comm.rank() - root + p) % p;
+  auto actual = [&](int vrank) { return (vrank + root) % p; };
+
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      comm.recv(buf, actual(vr - mask), detail::kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vr & (mask - 1)) == 0 && (vr | mask) != vr && vr + mask < p) {
+      comm.send(std::span<const T>(buf.data(), buf.size()), actual(vr + mask),
+                detail::kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+/// --- reduce ------------------------------------------------------------------
+
+/// Binomial-tree reduction to root. \p out must have in.size() elements at
+/// the root and may be empty elsewhere. in and out must not alias.
+template <class T, class Op = Sum<T>>
+void reduce(const Comm& comm, std::span<const T> in, std::span<T> out,
+            int root, Op op = {}) {
+  const int p = comm.size();
+  if (p == 1) {
+    PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
+    std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
+    return;
+  }
+  OpScope scope(OpKind::Reduce);
+  const int vr = (comm.rank() - root + p) % p;
+  auto actual = [&](int vrank) { return (vrank + root) % p; };
+
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> tmp(in.size());
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      comm.send(std::span<const T>(acc), actual(vr - mask),
+                detail::kTagReduce);
+      return;  // leaf/subtree done; nothing more to contribute
+    }
+    const int partner = vr | mask;
+    if (partner < p) {
+      comm.recv(std::span<T>(tmp), actual(partner), detail::kTagReduce);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], tmp[i]);
+    }
+    mask <<= 1;
+  }
+  // Only the root reaches this point.
+  PT_CHECK(vr == 0, "reduce: non-root completed tree");
+  PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
+  std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
+}
+
+/// --- all-gather ----------------------------------------------------------------
+
+/// Ring all-gather with per-rank counts. \p all receives rank i's
+/// contribution at offset sum(counts[0..i)).
+template <class T>
+void allgatherv(const Comm& comm, std::span<const T> mine, std::span<T> all,
+                std::span<const std::size_t> counts) {
+  const int p = comm.size();
+  PT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv: counts size");
+  const auto offsets = detail::offsets_from_counts(counts);
+  PT_CHECK(all.size() == offsets[static_cast<std::size_t>(p)],
+           "allgatherv: output buffer size mismatch");
+  const int r = comm.rank();
+  PT_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
+           "allgatherv: my contribution size mismatch");
+  std::memcpy(all.data() + offsets[static_cast<std::size_t>(r)], mine.data(),
+              mine.size() * sizeof(T));
+  if (p == 1) return;
+  OpScope scope(OpKind::AllGather);
+
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  int cur = r;
+  for (int step = 0; step < p - 1; ++step) {
+    const std::size_t cu = static_cast<std::size_t>(cur);
+    comm.send(std::span<const T>(all.data() + offsets[cu], counts[cu]), right,
+              detail::kTagAllGather);
+    const int prev = (cur - 1 + p) % p;
+    const std::size_t pu = static_cast<std::size_t>(prev);
+    comm.recv(std::span<T>(all.data() + offsets[pu], counts[pu]), left,
+              detail::kTagAllGather);
+    cur = prev;
+  }
+}
+
+/// Equal-count all-gather: every rank contributes mine.size() elements.
+template <class T>
+void allgather(const Comm& comm, std::span<const T> mine, std::span<T> all) {
+  const std::vector<std::size_t> counts(
+      static_cast<std::size_t>(comm.size()), mine.size());
+  allgatherv(comm, mine, all, std::span<const std::size_t>(counts));
+}
+
+/// --- reduce-scatter ---------------------------------------------------------
+
+/// Ring reduce-scatter: element-wise reduction of each rank's full \p in,
+/// with block i of the result (counts[i] elements) delivered to rank i's
+/// \p out. Bandwidth-optimal: each rank injects W - counts[rank] words.
+template <class T, class Op = Sum<T>>
+void reduce_scatter(const Comm& comm, std::span<const T> in, std::span<T> out,
+                    std::span<const std::size_t> counts, Op op = {}) {
+  const int p = comm.size();
+  PT_CHECK(static_cast<int>(counts.size()) == p, "reduce_scatter: counts");
+  const auto offsets = detail::offsets_from_counts(counts);
+  PT_CHECK(in.size() == offsets[static_cast<std::size_t>(p)],
+           "reduce_scatter: input size mismatch");
+  const int r = comm.rank();
+  PT_CHECK(out.size() == counts[static_cast<std::size_t>(r)],
+           "reduce_scatter: output size mismatch");
+  if (p == 1) {
+    std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
+    return;
+  }
+  OpScope scope(OpKind::ReduceScatter);
+
+  std::vector<T> work(in.begin(), in.end());
+  std::vector<T> incoming;
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_idx = ((r - step - 1) % p + p) % p;
+    const int recv_idx = ((r - step - 2) % p + p) % p;
+    const std::size_t su = static_cast<std::size_t>(send_idx);
+    const std::size_t ru = static_cast<std::size_t>(recv_idx);
+    comm.send(std::span<const T>(work.data() + offsets[su], counts[su]), right,
+              detail::kTagReduceScatter);
+    incoming.resize(counts[ru]);
+    comm.recv(std::span<T>(incoming), left, detail::kTagReduceScatter);
+    T* chunk = work.data() + offsets[ru];
+    for (std::size_t i = 0; i < counts[ru]; ++i) {
+      chunk[i] = op(chunk[i], incoming[i]);
+    }
+  }
+  std::memcpy(out.data(), work.data() + offsets[static_cast<std::size_t>(r)],
+              counts[static_cast<std::size_t>(r)] * sizeof(T));
+}
+
+/// --- all-reduce ---------------------------------------------------------------
+
+/// In-place all-reduce. Uses reduce-scatter + all-gather (Rabenseifner) when
+/// the payload is large enough to be bandwidth-bound, otherwise a binomial
+/// reduce + broadcast.
+template <class T, class Op = Sum<T>>
+void allreduce(const Comm& comm, std::span<T> inout, Op op = {}) {
+  const int p = comm.size();
+  if (p == 1 || inout.empty()) return;
+  OpScope scope(OpKind::AllReduce);
+  const std::size_t count = inout.size();
+  if (count >= static_cast<std::size_t>(2 * p)) {
+    const auto counts = util::uniform_block_sizes(
+        count, static_cast<std::size_t>(p));
+    std::vector<T> block(counts[static_cast<std::size_t>(comm.rank())]);
+    reduce_scatter(comm, std::span<const T>(inout.data(), inout.size()),
+                   std::span<T>(block), std::span<const std::size_t>(counts),
+                   op);
+    allgatherv(comm, std::span<const T>(block), inout,
+               std::span<const std::size_t>(counts));
+  } else {
+    std::vector<T> result(comm.rank() == 0 ? count : 0);
+    reduce(comm, std::span<const T>(inout.data(), inout.size()),
+           std::span<T>(result), 0, op);
+    if (comm.rank() == 0) {
+      std::memcpy(inout.data(), result.data(), count * sizeof(T));
+    }
+    broadcast(comm, inout, 0);
+  }
+}
+
+/// Scalar all-reduce convenience.
+template <class T, class Op = Sum<T>>
+[[nodiscard]] T allreduce_scalar(const Comm& comm, T value, Op op = {}) {
+  allreduce(comm, std::span<T>(&value, 1), op);
+  return value;
+}
+
+/// --- gather / scatter to or from a root ----------------------------------------
+
+/// Gather variable-size contributions to the root (direct sends). Returns
+/// per-rank payloads at the root; empty vector elsewhere.
+template <class T>
+[[nodiscard]] std::vector<std::vector<T>> gather_varied(const Comm& comm,
+                                                        std::span<const T> mine,
+                                                        int root) {
+  const int p = comm.size();
+  OpScope scope(OpKind::Gather);
+  if (comm.rank() != root) {
+    comm.send(mine, root, detail::kTagGather);
+    return {};
+  }
+  std::vector<std::vector<T>> result(static_cast<std::size_t>(p));
+  for (int src = 0; src < p; ++src) {
+    if (src == root) {
+      result[static_cast<std::size_t>(src)].assign(mine.begin(), mine.end());
+      continue;
+    }
+    auto bytes = comm.recv_bytes_any_size(src, detail::kTagGather);
+    PT_CHECK(bytes.size() % sizeof(T) == 0, "gather_varied: payload size");
+    std::vector<T>& slot = result[static_cast<std::size_t>(src)];
+    slot.resize(bytes.size() / sizeof(T));
+    std::memcpy(slot.data(), bytes.data(), bytes.size());
+  }
+  return result;
+}
+
+/// Scatter variable-size blocks from the root (direct sends). \p blocks is
+/// only read at the root and must have one entry per rank.
+template <class T>
+[[nodiscard]] std::vector<T> scatter_varied(
+    const Comm& comm, const std::vector<std::vector<T>>& blocks, int root) {
+  const int p = comm.size();
+  OpScope scope(OpKind::Scatter);
+  if (comm.rank() == root) {
+    PT_CHECK(static_cast<int>(blocks.size()) == p,
+             "scatter_varied: need one block per rank");
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == root) continue;
+      comm.send(std::span<const T>(blocks[static_cast<std::size_t>(dst)]), dst,
+                detail::kTagScatter);
+    }
+    return blocks[static_cast<std::size_t>(root)];
+  }
+  auto bytes = comm.recv_bytes_any_size(root, detail::kTagScatter);
+  PT_CHECK(bytes.size() % sizeof(T) == 0, "scatter_varied: payload size");
+  std::vector<T> mine(bytes.size() / sizeof(T));
+  std::memcpy(mine.data(), bytes.data(), bytes.size());
+  return mine;
+}
+
+}  // namespace ptucker::mps

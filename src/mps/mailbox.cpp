@@ -1,0 +1,48 @@
+#include "mps/mailbox.hpp"
+
+#include "mps/universe.hpp"
+
+namespace ptucker::mps {
+
+void Mailbox::push(Message&& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_matching(std::uint64_t context, int src_world, int tag,
+                              std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (universe_->aborted()) {
+      throw AbortError("rank aborted while receiving: " +
+                       universe_->abort_reason());
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->context == context && it->src_world == src_world &&
+          it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw InternalError(
+          "recv timed out (likely deadlock): waiting for context=" +
+          std::to_string(context) + " src=" + std::to_string(src_world) +
+          " tag=" + std::to_string(tag));
+    }
+  }
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+}  // namespace ptucker::mps

@@ -1,0 +1,49 @@
+#pragma once
+/// \file mailbox.hpp
+/// \brief Single-consumer mailbox with (context, source, tag) matching.
+///
+/// Each rank owns exactly one mailbox; any rank may push to it, only the
+/// owner pops. Messages from a given sender are matched in FIFO order, which
+/// is the ordering guarantee that makes back-to-back collectives on the same
+/// communicator safe without sequence numbers (same reasoning as MPI's
+/// non-overtaking rule).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "mps/message.hpp"
+
+namespace ptucker::mps {
+
+class Universe;
+
+class Mailbox {
+ public:
+  explicit Mailbox(Universe* universe) : universe_(universe) {}
+
+  /// Deliver a message (called by senders). Never blocks.
+  void push(Message&& msg);
+
+  /// Block until a message matching (context, src_world, tag) is available
+  /// and return it. Throws AbortError if the universe aborts, and
+  /// InternalError after \p timeout elapses (deadlock detection).
+  Message pop_matching(std::uint64_t context, int src_world, int tag,
+                       std::chrono::milliseconds timeout);
+
+  /// Number of queued messages (diagnostics / quiescence checks).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Wake the owner if it is blocked (used by Universe::abort).
+  void interrupt();
+
+ private:
+  Universe* universe_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ptucker::mps

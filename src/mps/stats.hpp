@@ -1,0 +1,94 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Per-rank communication counters.
+///
+/// Because every collective in mps is built from point-to-point sends, the
+/// runtime can count exactly how many messages and words each rank injects,
+/// attributed to the operation that caused them. These counters are what the
+/// cost-model validation tests and the Tab. I bench compare against the
+/// paper's alpha-beta-gamma formulas.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ptucker::mps {
+
+/// Operation kinds for attribution of p2p traffic.
+enum class OpKind : int {
+  P2P = 0,        ///< user-level send/recv (e.g. the Gram shift ring)
+  Barrier,
+  Broadcast,
+  Reduce,
+  AllReduce,
+  AllGather,
+  ReduceScatter,
+  Gather,
+  Scatter,
+  kCount
+};
+
+[[nodiscard]] const char* op_name(OpKind kind);
+
+/// Counters for one rank. "Words" are 8-byte doubles, the unit of W in the
+/// paper's model.
+struct CommStats {
+  static constexpr int kNumOps = static_cast<int>(OpKind::kCount);
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::array<std::uint64_t, kNumOps> op_messages{};
+  std::array<std::uint64_t, kNumOps> op_bytes{};
+
+  [[nodiscard]] double words_sent() const {
+    return static_cast<double>(bytes_sent) / 8.0;
+  }
+  [[nodiscard]] double op_words(OpKind kind) const {
+    return static_cast<double>(op_bytes[static_cast<int>(kind)]) / 8.0;
+  }
+  [[nodiscard]] std::uint64_t op_message_count(OpKind kind) const {
+    return op_messages[static_cast<int>(kind)];
+  }
+
+  void record(OpKind kind, std::uint64_t bytes) {
+    messages_sent += 1;
+    bytes_sent += bytes;
+    op_messages[static_cast<int>(kind)] += 1;
+    op_bytes[static_cast<int>(kind)] += bytes;
+  }
+
+  CommStats& operator+=(const CommStats& other) {
+    messages_sent += other.messages_sent;
+    bytes_sent += other.bytes_sent;
+    for (int i = 0; i < kNumOps; ++i) {
+      op_messages[i] += other.op_messages[i];
+      op_bytes[i] += other.op_bytes[i];
+    }
+    return *this;
+  }
+
+  void clear() { *this = CommStats{}; }
+};
+
+/// The op kind the calling thread is currently executing (collectives set
+/// this around their p2p traffic so sends are attributed correctly).
+[[nodiscard]] OpKind current_op();
+void set_current_op(OpKind kind);
+
+/// RAII attribution scope used inside collectives. Nested scopes do NOT
+/// override the outermost one: an all-reduce implemented as reduce-scatter +
+/// all-gather attributes all of its traffic to AllReduce.
+class OpScope {
+ public:
+  explicit OpScope(OpKind kind) : saved_(current_op()) {
+    if (saved_ == OpKind::P2P) set_current_op(kind);
+  }
+  ~OpScope() { set_current_op(saved_); }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  OpKind saved_;
+};
+
+}  // namespace ptucker::mps

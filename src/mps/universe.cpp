@@ -1,0 +1,118 @@
+#include "mps/universe.hpp"
+
+namespace ptucker::mps {
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::P2P: return "p2p";
+    case OpKind::Barrier: return "barrier";
+    case OpKind::Broadcast: return "broadcast";
+    case OpKind::Reduce: return "reduce";
+    case OpKind::AllReduce: return "all-reduce";
+    case OpKind::AllGather: return "all-gather";
+    case OpKind::ReduceScatter: return "reduce-scatter";
+    case OpKind::Gather: return "gather";
+    case OpKind::Scatter: return "scatter";
+    case OpKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+thread_local OpKind t_current_op = OpKind::P2P;
+}
+
+OpKind current_op() { return t_current_op; }
+void set_current_op(OpKind kind) { t_current_op = kind; }
+
+Universe::Universe(int world_size) : world_size_(world_size) {
+  PT_REQUIRE(world_size >= 1, "world size must be >= 1, got " << world_size);
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(this));
+  }
+  stats_.resize(static_cast<std::size_t>(world_size));
+}
+
+Mailbox& Universe::mailbox(int world_rank) {
+  PT_CHECK(world_rank >= 0 && world_rank < world_size_,
+           "mailbox rank " << world_rank << " out of range");
+  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+void Universe::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex_);
+    if (!aborted_.load(std::memory_order_acquire)) {
+      abort_reason_ = reason;
+    }
+  }
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb->interrupt();
+}
+
+std::string Universe::abort_reason() const {
+  std::lock_guard<std::mutex> lock(abort_mutex_);
+  return abort_reason_;
+}
+
+void Universe::clear_abort() {
+  std::lock_guard<std::mutex> lock(abort_mutex_);
+  aborted_.store(false, std::memory_order_release);
+  abort_reason_.clear();
+}
+
+std::uint64_t Universe::register_context(std::uint64_t parent,
+                                         std::uint64_t seq, int color) {
+  std::lock_guard<std::mutex> lock(context_mutex_);
+  auto key = std::make_tuple(parent, seq, color);
+  auto it = context_registry_.find(key);
+  if (it != context_registry_.end()) return it->second;
+  const std::uint64_t ctx = next_context_++;
+  context_registry_.emplace(key, ctx);
+  return ctx;
+}
+
+CommStats& Universe::stats(int world_rank) {
+  return stats_[static_cast<std::size_t>(world_rank)].stats;
+}
+
+const CommStats& Universe::stats(int world_rank) const {
+  return stats_[static_cast<std::size_t>(world_rank)].stats;
+}
+
+CommStats Universe::total_stats() const {
+  CommStats total;
+  for (const auto& s : stats_) total += s.stats;
+  return total;
+}
+
+CommStats Universe::max_stats() const {
+  CommStats out;
+  for (const auto& s : stats_) {
+    out.messages_sent = std::max(out.messages_sent, s.stats.messages_sent);
+    out.bytes_sent = std::max(out.bytes_sent, s.stats.bytes_sent);
+    for (int i = 0; i < CommStats::kNumOps; ++i) {
+      out.op_messages[i] =
+          std::max(out.op_messages[i], s.stats.op_messages[i]);
+      out.op_bytes[i] = std::max(out.op_bytes[i], s.stats.op_bytes[i]);
+    }
+  }
+  return out;
+}
+
+void Universe::reset_stats() {
+  for (auto& s : stats_) s.stats.clear();
+}
+
+void Universe::assert_quiescent() const {
+  for (int r = 0; r < world_size_; ++r) {
+    const std::size_t pending = mailboxes_[static_cast<std::size_t>(r)]->pending();
+    PT_CHECK(pending == 0, "mailbox of rank "
+                               << r << " still holds " << pending
+                               << " message(s) after the parallel region — "
+                                  "likely a tag mismatch or missing recv");
+  }
+}
+
+}  // namespace ptucker::mps

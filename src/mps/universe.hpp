@@ -1,0 +1,93 @@
+#pragma once
+/// \file universe.hpp
+/// \brief Shared runtime state for one distributed "machine": mailboxes,
+/// abort propagation, communicator context registry, and per-rank stats.
+///
+/// The Universe is the stand-in for the physical network. Ranks interact
+/// with it only through their Comm handles; no user data lives here, just
+/// in-flight messages.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mps/mailbox.hpp"
+#include "mps/stats.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::mps {
+
+/// Thrown in every blocked rank when another rank fails: unwinds the whole
+/// parallel region so the first error can be reported.
+class AbortError : public Error {
+ public:
+  explicit AbortError(const std::string& what) : Error(what) {}
+};
+
+class Universe {
+ public:
+  explicit Universe(int world_size);
+
+  [[nodiscard]] int world_size() const { return world_size_; }
+
+  Mailbox& mailbox(int world_rank);
+
+  /// --- abort propagation -------------------------------------------------
+  void abort(const std::string& reason);
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::string abort_reason() const;
+  void clear_abort();
+
+  /// --- communicator contexts ---------------------------------------------
+  /// Returns the same fresh context id to every rank requesting the key
+  /// (parent context, split sequence number, color). Collision-free by
+  /// construction (registry), unlike hash-derived schemes.
+  std::uint64_t register_context(std::uint64_t parent, std::uint64_t seq,
+                                 int color);
+
+  /// --- stats ---------------------------------------------------------------
+  CommStats& stats(int world_rank);
+  [[nodiscard]] const CommStats& stats(int world_rank) const;
+  [[nodiscard]] CommStats total_stats() const;
+  [[nodiscard]] CommStats max_stats() const;  ///< per-field max over ranks
+  void reset_stats();
+
+  /// Timeout applied to blocking receives (deadlock detection).
+  void set_recv_timeout(std::chrono::milliseconds t) { recv_timeout_ = t; }
+  [[nodiscard]] std::chrono::milliseconds recv_timeout() const {
+    return recv_timeout_;
+  }
+
+  /// Throws InternalError if any mailbox still holds messages (message
+  /// leaks usually mean tag mismatches). Called after successful runs.
+  void assert_quiescent() const;
+
+ private:
+  int world_size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // Stats are padded to their own cache lines to avoid false sharing.
+  struct alignas(64) PaddedStats {
+    CommStats stats;
+  };
+  std::vector<PaddedStats> stats_;
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mutex_;
+  std::string abort_reason_;
+
+  std::mutex context_mutex_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t>
+      context_registry_;
+  std::uint64_t next_context_ = 1;  // 0 is the world communicator
+
+  std::chrono::milliseconds recv_timeout_{120000};
+};
+
+}  // namespace ptucker::mps

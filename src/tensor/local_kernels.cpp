@@ -1,0 +1,156 @@
+#include "tensor/local_kernels.hpp"
+
+#include "blas/blas.hpp"
+
+namespace ptucker::tensor {
+
+namespace {
+
+/// Output dims of a mode-n TTM.
+Dims ttm_dims(const Tensor& y, const Matrix& m, int mode) {
+  PT_REQUIRE(mode >= 0 && mode < y.order(), "ttm: mode out of range");
+  PT_REQUIRE(m.cols() == y.dim(mode),
+             "ttm: matrix has " << m.cols() << " columns but mode " << mode
+                                << " has extent " << y.dim(mode));
+  Dims dims = y.dims();
+  dims[static_cast<std::size_t>(mode)] = m.rows();
+  return dims;
+}
+
+}  // namespace
+
+void local_ttm_into(const Tensor& y, const Matrix& m, int mode, Tensor& z) {
+  const Dims expected = ttm_dims(y, m, mode);
+  PT_REQUIRE(z.dims() == expected, "local_ttm_into: output dims mismatch");
+  const UnfoldShape in = unfold_shape(y.dims(), mode);
+  const std::size_t k = m.rows();
+  if (y.size() == 0 || z.size() == 0) return;
+
+  if (in.left == 1) {
+    // Y viewed as (mid x right) column-major: single gemm
+    // Z(k x right) = M(k x mid) * Y.
+    blas::gemm(blas::Trans::No, blas::Trans::No, k, in.right, in.mid, 1.0,
+               m.data(), k, y.data(), in.mid, 0.0, z.data(), k);
+    return;
+  }
+  // One gemm per right-slice: Z_r(left x k) = Y_r(left x mid) * M^T.
+  const std::size_t in_slice = in.left * in.mid;
+  const std::size_t out_slice = in.left * k;
+  for (std::size_t r = 0; r < in.right; ++r) {
+    blas::gemm(blas::Trans::No, blas::Trans::Yes, in.left, k, in.mid, 1.0,
+               y.data() + r * in_slice, in.left, m.data(), k, 0.0,
+               z.data() + r * out_slice, in.left);
+  }
+}
+
+Tensor local_ttm(const Tensor& y, const Matrix& m, int mode) {
+  Tensor z(ttm_dims(y, m, mode));
+  local_ttm_into(y, m, mode, z);
+  return z;
+}
+
+Matrix local_gram(const Tensor& y, int mode) {
+  const UnfoldShape s = unfold_shape(y.dims(), mode);
+  Matrix gram(s.mid, s.mid);
+  if (y.size() == 0) return gram;
+  if (s.left == 1) {
+    // Unfolding is the (mid x right) matrix itself: S = Y * Y^T.
+    blas::syrk_full(blas::Trans::No, s.mid, s.right, 1.0, y.data(), s.mid,
+                    0.0, gram.data(), s.mid);
+    return gram;
+  }
+  const std::size_t slice = s.left * s.mid;
+  for (std::size_t r = 0; r < s.right; ++r) {
+    // Block column r of the unfolding is B_r^T: S += B_r^T * B_r.
+    blas::syrk_full(blas::Trans::Yes, s.mid, s.left, 1.0, y.data() + r * slice,
+                    s.left, (r == 0) ? 0.0 : 1.0, gram.data(), s.mid);
+  }
+  return gram;
+}
+
+Matrix local_gram_sym(const Tensor& y, int mode) {
+  const UnfoldShape s = unfold_shape(y.dims(), mode);
+  Matrix gram(s.mid, s.mid);
+  if (y.size() == 0) return gram;
+  if (s.left == 1) {
+    blas::syrk_lower(blas::Trans::No, s.mid, s.right, 1.0, y.data(), s.mid,
+                     0.0, gram.data(), s.mid);
+  } else {
+    const std::size_t slice = s.left * s.mid;
+    for (std::size_t r = 0; r < s.right; ++r) {
+      blas::syrk_lower(blas::Trans::Yes, s.mid, s.left, 1.0,
+                       y.data() + r * slice, s.left, (r == 0) ? 0.0 : 1.0,
+                       gram.data(), s.mid);
+    }
+  }
+  blas::symmetrize_from_lower(s.mid, gram.data(), s.mid);
+  return gram;
+}
+
+Matrix local_cross_gram(const Tensor& y, const Tensor& w, int mode) {
+  PT_REQUIRE(y.order() == w.order(), "cross_gram: order mismatch");
+  for (int n = 0; n < y.order(); ++n) {
+    PT_REQUIRE(n == mode || y.dim(n) == w.dim(n),
+               "cross_gram: dims must match outside mode " << mode);
+  }
+  const UnfoldShape sy = unfold_shape(y.dims(), mode);
+  const UnfoldShape sw = unfold_shape(w.dims(), mode);
+  Matrix c(sy.mid, sw.mid);
+  if (y.size() == 0 || w.size() == 0) return c;
+  if (sy.left == 1) {
+    // C = Y * W^T with Y (midY x right), W (midW x right).
+    blas::gemm(blas::Trans::No, blas::Trans::Yes, sy.mid, sw.mid, sy.right,
+               1.0, y.data(), sy.mid, w.data(), sw.mid, 0.0, c.data(), sy.mid);
+    return c;
+  }
+  const std::size_t slice_y = sy.left * sy.mid;
+  const std::size_t slice_w = sw.left * sw.mid;
+  for (std::size_t r = 0; r < sy.right; ++r) {
+    // C += By_r^T * Bw_r.
+    blas::gemm(blas::Trans::Yes, blas::Trans::No, sy.mid, sw.mid, sy.left,
+               1.0, y.data() + r * slice_y, sy.left, w.data() + r * slice_w,
+               sw.left, (r == 0) ? 0.0 : 1.0, c.data(), sy.mid);
+  }
+  return c;
+}
+
+Tensor naive_ttm(const Tensor& y, const Matrix& m, int mode) {
+  Tensor z(ttm_dims(y, m, mode));
+  const std::size_t jn = y.dim(mode);
+  const std::size_t k = m.rows();
+  std::vector<std::size_t> idx(static_cast<std::size_t>(y.order()), 0);
+  for (std::size_t lin = 0; lin < y.size(); ++lin) {
+    const auto yi = y.multi_index(lin);
+    idx = yi;
+    const double val = y[lin];
+    const std::size_t j = yi[static_cast<std::size_t>(mode)];
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      idx[static_cast<std::size_t>(mode)] = kk;
+      z.at(idx) += m(kk, j) * val;
+    }
+  }
+  (void)jn;
+  return z;
+}
+
+Matrix naive_gram(const Tensor& y, int mode) {
+  const std::size_t jn = y.dim(mode);
+  Matrix s(jn, jn);
+  // Accumulate outer products of unfolding columns: walk all elements and
+  // combine entries sharing all non-mode indices.
+  const UnfoldShape us = unfold_shape(y.dims(), mode);
+  for (std::size_t r = 0; r < us.right; ++r) {
+    for (std::size_t l = 0; l < us.left; ++l) {
+      for (std::size_t i = 0; i < jn; ++i) {
+        const double yi = y[l + i * us.left + r * us.left * us.mid];
+        for (std::size_t j = 0; j < jn; ++j) {
+          const double yj = y[l + j * us.left + r * us.left * us.mid];
+          s(i, j) += yi * yj;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace ptucker::tensor

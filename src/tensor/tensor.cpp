@@ -1,0 +1,132 @@
+#include "tensor/tensor.hpp"
+
+#include "blas/blas.hpp"
+#include "util/rng.hpp"
+
+namespace ptucker::tensor {
+
+std::size_t prod(const Dims& dims) {
+  std::size_t p = 1;
+  for (std::size_t d : dims) p *= d;
+  return p;
+}
+
+std::size_t prod_except(const Dims& dims, int n) {
+  std::size_t p = 1;
+  for (int m = 0; m < static_cast<int>(dims.size()); ++m) {
+    if (m != n) p *= dims[static_cast<std::size_t>(m)];
+  }
+  return p;
+}
+
+Tensor::Tensor(Dims dims) : dims_(std::move(dims)) {
+  PT_REQUIRE(!dims_.empty(), "tensor must have order >= 1");
+  data_.assign(prod(dims_), 0.0);
+}
+
+Tensor::Tensor(Dims dims, double fill) : Tensor(std::move(dims)) {
+  std::fill(data_.begin(), data_.end(), fill);
+}
+
+Tensor Tensor::randn(Dims dims, std::uint64_t seed) {
+  Tensor t(std::move(dims));
+  util::Rng rng(seed);
+  for (double& v : t.data_) v = rng.normal();
+  return t;
+}
+
+std::size_t Tensor::linear_index(std::span<const std::size_t> idx) const {
+  PT_CHECK(idx.size() == dims_.size(), "multi-index order mismatch");
+  std::size_t linear = 0;
+  for (std::size_t n = dims_.size(); n-- > 0;) {
+    PT_CHECK(idx[n] < dims_[n], "index out of range in mode " << n);
+    linear = linear * dims_[n] + idx[n];
+  }
+  return linear;
+}
+
+std::vector<std::size_t> Tensor::multi_index(std::size_t linear) const {
+  std::vector<std::size_t> idx(dims_.size());
+  for (std::size_t n = 0; n < dims_.size(); ++n) {
+    idx[n] = linear % dims_[n];
+    linear /= dims_[n];
+  }
+  return idx;
+}
+
+double Tensor::norm_squared() const {
+  // Scaled accumulation via nrm2 for overflow safety.
+  const double norm = blas::nrm2(data_.size(), data_.data());
+  return norm * norm;
+}
+
+double Tensor::norm() const { return blas::nrm2(data_.size(), data_.data()); }
+
+void Tensor::fill_from(
+    const std::function<double(std::span<const std::size_t>)>& fn) {
+  std::vector<std::size_t> idx(dims_.size(), 0);
+  for (std::size_t linear = 0; linear < data_.size(); ++linear) {
+    data_[linear] = fn(idx);
+    for (std::size_t n = 0; n < dims_.size(); ++n) {
+      if (++idx[n] < dims_[n]) break;
+      idx[n] = 0;
+    }
+  }
+}
+
+Tensor Tensor::subtensor(const std::vector<util::Range>& ranges) const {
+  PT_REQUIRE(ranges.size() == dims_.size(), "subtensor: order mismatch");
+  Dims sub_dims(dims_.size());
+  for (std::size_t n = 0; n < dims_.size(); ++n) {
+    PT_REQUIRE(ranges[n].hi <= dims_[n] && ranges[n].lo <= ranges[n].hi,
+               "subtensor: bad range in mode " << n);
+    sub_dims[n] = ranges[n].size();
+  }
+  Tensor sub(sub_dims);
+  if (sub.size() == 0) return sub;
+  std::vector<std::size_t> idx(dims_.size());
+  for (std::size_t n = 0; n < dims_.size(); ++n) idx[n] = ranges[n].lo;
+  std::vector<std::size_t> sub_idx(dims_.size(), 0);
+  // Copy contiguous mode-1 runs at a time.
+  const std::size_t run = sub_dims[0];
+  for (std::size_t linear = 0; linear < sub.size(); linear += run) {
+    const std::size_t src = linear_index(idx);
+    blas::copy(run, data_.data() + src, sub.data() + linear);
+    // Advance all but mode 0.
+    for (std::size_t n = 1; n < dims_.size(); ++n) {
+      if (++sub_idx[n] < sub_dims[n]) {
+        idx[n] = ranges[n].lo + sub_idx[n];
+        break;
+      }
+      sub_idx[n] = 0;
+      idx[n] = ranges[n].lo;
+    }
+  }
+  return sub;
+}
+
+void Tensor::axpy(double alpha, const Tensor& other) {
+  PT_REQUIRE(dims_ == other.dims_, "axpy: dimension mismatch");
+  blas::axpy(data_.size(), alpha, other.data(), data());
+}
+
+void Tensor::scale(double alpha) { blas::scal(data_.size(), alpha, data()); }
+
+UnfoldShape unfold_shape(const Dims& dims, int mode) {
+  PT_REQUIRE(mode >= 0 && mode < static_cast<int>(dims.size()),
+             "unfold mode " << mode << " out of range");
+  UnfoldShape shape;
+  for (int m = 0; m < static_cast<int>(dims.size()); ++m) {
+    const std::size_t d = dims[static_cast<std::size_t>(m)];
+    if (m < mode) {
+      shape.left *= d;
+    } else if (m == mode) {
+      shape.mid = d;
+    } else {
+      shape.right *= d;
+    }
+  }
+  return shape;
+}
+
+}  // namespace ptucker::tensor

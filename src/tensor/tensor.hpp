@@ -1,0 +1,105 @@
+#pragma once
+/// \file tensor.hpp
+/// \brief Dense N-way tensor with first-index-fastest ("generalized
+/// column-major") layout, matching the paper's local storage convention:
+/// the mode-1 unfolding of a stored tensor is a column-major matrix
+/// (Sec. IV-A).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/blocks.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::tensor {
+
+/// Tensor dimensions (I1, ..., IN).
+using Dims = std::vector<std::size_t>;
+
+/// Product of all entries (total element count).
+[[nodiscard]] std::size_t prod(const Dims& dims);
+
+/// Product of all entries except entry n (the paper's \f$\hat I_n\f$).
+[[nodiscard]] std::size_t prod_except(const Dims& dims, int n);
+
+/// Dense tensor. Element (i1, ..., iN) lives at linear offset
+/// i1 + I1*(i2 + I2*(i3 + ...)).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Dims dims);
+  Tensor(Dims dims, double fill);
+
+  /// i.i.d. standard normal entries from a sequential RNG.
+  [[nodiscard]] static Tensor randn(Dims dims, std::uint64_t seed);
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const Dims& dims() const { return dims_; }
+  [[nodiscard]] std::size_t dim(int n) const {
+    return dims_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::span<double> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  [[nodiscard]] double& operator[](std::size_t linear) { return data_[linear]; }
+  [[nodiscard]] double operator[](std::size_t linear) const {
+    return data_[linear];
+  }
+
+  /// Linear offset of a multi-index.
+  [[nodiscard]] std::size_t linear_index(std::span<const std::size_t> idx) const;
+
+  /// Multi-index of a linear offset (inverse of linear_index).
+  [[nodiscard]] std::vector<std::size_t> multi_index(std::size_t linear) const;
+
+  [[nodiscard]] double& at(std::span<const std::size_t> idx) {
+    return data_[linear_index(idx)];
+  }
+  [[nodiscard]] double at(std::span<const std::size_t> idx) const {
+    return data_[linear_index(idx)];
+  }
+
+  /// Sum of squared entries; norm() is its square root (‖X‖ = ‖X(1)‖_F).
+  [[nodiscard]] double norm_squared() const;
+  [[nodiscard]] double norm() const;
+
+  /// Fill from a function of the multi-index (used by the distributed
+  /// generators to evaluate global random fields on local blocks).
+  void fill_from(
+      const std::function<double(std::span<const std::size_t>)>& fn);
+
+  /// Copy out the sub-tensor given per-mode index ranges.
+  [[nodiscard]] Tensor subtensor(const std::vector<util::Range>& ranges) const;
+
+  /// this += alpha * other (same dims).
+  void axpy(double alpha, const Tensor& other);
+  void scale(double alpha);
+
+ private:
+  Dims dims_;
+  std::vector<double> data_;
+};
+
+/// Shape of the mode-n unfolding as the memory-layout triple used by all
+/// local kernels (Sec. IV-C): the tensor is viewed as a (left, mid, right)
+/// column-major 3-tensor with mid = Jn, left = prod of modes < n, right =
+/// prod of modes > n. Slice r (fixed right index) is a contiguous
+/// column-major (left x mid) matrix; the unfolding's r-th block column is
+/// its transpose. No data movement is ever performed.
+struct UnfoldShape {
+  std::size_t left = 1;
+  std::size_t mid = 1;
+  std::size_t right = 1;
+};
+[[nodiscard]] UnfoldShape unfold_shape(const Dims& dims, int mode);
+
+}  // namespace ptucker::tensor

@@ -1,0 +1,49 @@
+#pragma once
+/// \file blocks.hpp
+/// \brief Uniform block partitioning of an index range over P parts.
+///
+/// Used consistently by the tensor distribution layer and the collectives:
+/// part i of [0, total) is [floor(i*total/P), floor((i+1)*total/P)). Parts
+/// differ in size by at most one, and the paper's "Pn evenly divides In"
+/// presentation assumption is not required anywhere in this codebase.
+
+#include <cstddef>
+#include <vector>
+
+namespace ptucker::util {
+
+struct Range {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  [[nodiscard]] std::size_t size() const { return hi - lo; }
+};
+
+/// Block i (0-based) of [0, total) split into parts pieces.
+[[nodiscard]] inline Range uniform_block(std::size_t total, std::size_t parts,
+                                         std::size_t i) {
+  return Range{(i * total) / parts, ((i + 1) * total) / parts};
+}
+
+/// Sizes of all parts.
+[[nodiscard]] inline std::vector<std::size_t> uniform_block_sizes(
+    std::size_t total, std::size_t parts) {
+  std::vector<std::size_t> sizes(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    sizes[i] = uniform_block(total, parts, i).size();
+  }
+  return sizes;
+}
+
+/// Which part owns global index g.
+[[nodiscard]] inline std::size_t uniform_block_owner(std::size_t total,
+                                                     std::size_t parts,
+                                                     std::size_t g) {
+  // floor((g+1)*parts - 1 / total) without overflow concerns at our sizes:
+  // search is fine too, but the closed form is exact for floor splits.
+  std::size_t i = (g * parts) / total;
+  while (uniform_block(total, parts, i).hi <= g) ++i;
+  while (uniform_block(total, parts, i).lo > g) --i;
+  return i;
+}
+
+}  // namespace ptucker::util

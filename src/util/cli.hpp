@@ -1,0 +1,65 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line parsing for the benchmark and example
+/// binaries: `--name value` options, `--flag` booleans, and `--help`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptucker::util {
+
+/// Declarative argument parser.
+///
+/// Usage:
+/// \code
+///   ArgParser args("fig9a_strong_scaling", "Strong-scaling experiment");
+///   args.add_int("dim", 64, "tensor dimension per mode");
+///   args.add_flag("full", "run the full-size configuration");
+///   args.parse(argc, argv);           // exits(0) on --help
+///   int dim = args.get_int("dim");
+/// \endcode
+class ArgParser {
+ public:
+  ArgParser(std::string prog, std::string description);
+
+  void add_int(const std::string& name, std::int64_t def,
+               const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws InvalidArgument on unknown options or missing
+  /// values. Prints usage and exits(0) when --help is present.
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Parse a comma-separated integer list such as "4,3,2".
+  [[nodiscard]] static std::vector<std::size_t> parse_dims(
+      const std::string& text);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; flags use "0"/"1"
+    std::string def;
+  };
+  std::string prog_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+
+  const Option& find(const std::string& name, Kind kind) const;
+};
+
+}  // namespace ptucker::util

@@ -1,0 +1,67 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error-checking macros and exception types used across ptucker.
+///
+/// All invariant violations throw (never abort) so that the thread-based
+/// message-passing runtime can unwind cleanly: a throwing rank triggers a
+/// universe-wide abort that wakes every blocked rank.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptucker {
+
+/// Base class for all ptucker errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on precondition/argument violations (bad dims, bad grid, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on internal invariant violations (bugs).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "PT_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptucker
+
+/// Precondition check on user-supplied arguments; throws InvalidArgument.
+#define PT_REQUIRE(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::std::ostringstream pt_os_;                                           \
+      pt_os_ << msg; /* NOLINT */                                            \
+      ::ptucker::detail::throw_check_failure("PT_REQUIRE", #expr, __FILE__,  \
+                                             __LINE__, pt_os_.str());        \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check; throws InternalError.
+#define PT_CHECK(expr, msg)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::std::ostringstream pt_os_;                                           \
+      pt_os_ << msg; /* NOLINT */                                            \
+      ::ptucker::detail::throw_check_failure("PT_CHECK", #expr, __FILE__,    \
+                                             __LINE__, pt_os_.str());        \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ptucker::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+thread_local int t_rank = -1;
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::ErrorLevel: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%s rank %d] %s\n", level_name(level), t_rank,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace ptucker::util

@@ -1,0 +1,39 @@
+#pragma once
+/// \file log.hpp
+/// \brief Thread-safe logging with rank prefixes. The message-passing
+/// runtime registers the current rank so log lines from concurrent ranks
+/// are attributable and never interleave mid-line.
+
+#include <sstream>
+#include <string>
+
+namespace ptucker::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3 };
+
+/// Set the global minimum level (default Info).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Register the calling thread's rank for log prefixes (-1 = not a rank).
+void set_thread_rank(int rank);
+[[nodiscard]] int thread_rank();
+
+/// Emit a single log line (thread-safe; atomic per line).
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace ptucker::util
+
+#define PT_LOG(level, expr)                                         \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::ptucker::util::log_level())) {           \
+      ::std::ostringstream pt_log_os_;                              \
+      pt_log_os_ << expr; /* NOLINT */                              \
+      ::ptucker::util::log_line(level, pt_log_os_.str());           \
+    }                                                               \
+  } while (0)
+
+#define PT_INFO(expr) PT_LOG(::ptucker::util::LogLevel::Info, expr)
+#define PT_WARN(expr) PT_LOG(::ptucker::util::LogLevel::Warn, expr)
+#define PT_DEBUG(expr) PT_LOG(::ptucker::util::LogLevel::Debug, expr)

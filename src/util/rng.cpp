@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ptucker::util {
+
+double CounterRng::normal(std::uint64_t counter) const {
+  // Derive two independent uniforms from disjoint streams of the counter.
+  const std::uint64_t h1 = splitmix64(seed_ ^ splitmix64(counter * 2 + 0));
+  const std::uint64_t h2 = splitmix64(seed_ ^ splitmix64(counter * 2 + 1));
+  // u1 in (0,1] to keep log() finite; u2 in [0,1).
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace ptucker::util

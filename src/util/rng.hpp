@@ -1,0 +1,76 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Random number utilities.
+///
+/// Two generators are provided:
+///  - Rng: a seeded mt19937_64 wrapper for sequential use (tests, factor
+///    initialization on a single rank).
+///  - CounterRng: a stateless counter-based generator (splitmix64 hash of a
+///    global index). Every rank of a distributed run can evaluate the same
+///    global random field independently, so synthetic tensors are identical
+///    regardless of the processor grid — essential for the property tests
+///    that compare runs across grids.
+
+#include <cstdint>
+#include <random>
+
+namespace ptucker::util {
+
+/// splitmix64 hash step: maps any 64-bit value to a well-mixed 64-bit value.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded sequential RNG (mt19937_64 based).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unif_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal double.
+  double normal() { return norm_(engine_); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unif_{0.0, 1.0};
+  std::normal_distribution<double> norm_{0.0, 1.0};
+};
+
+/// Stateless counter-based RNG: value at (seed, counter) is deterministic and
+/// independent of evaluation order, enabling grid-independent random fields.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(splitmix64(seed ^ kSalt)) {}
+
+  /// Uniform double in [0, 1) for a global counter value.
+  [[nodiscard]] double uniform(std::uint64_t counter) const {
+    const std::uint64_t h = splitmix64(seed_ ^ splitmix64(counter));
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal double for a global counter value (Box-Muller on two
+  /// decorrelated uniforms derived from the same counter).
+  [[nodiscard]] double normal(std::uint64_t counter) const;
+
+ private:
+  static constexpr std::uint64_t kSalt = 0x7075636b65727477ULL;  // "puckertw"
+  std::uint64_t seed_;
+};
+
+}  // namespace ptucker::util

@@ -1,0 +1,33 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table formatting for benchmark output. The bench binaries
+/// print the same rows/series as the paper's tables and figures; this keeps
+/// them aligned and readable.
+
+#include <string>
+#include <vector>
+
+namespace ptucker::util {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row. Missing cells render empty; extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string str() const;
+
+  /// Convenience numeric formatting used throughout the benches.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_sci(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptucker::util

@@ -1,0 +1,48 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace ptucker::util {
+
+void KernelTimers::add(const std::string& kernel, int mode, double seconds) {
+  if (std::find(order_.begin(), order_.end(), kernel) == order_.end()) {
+    order_.push_back(kernel);
+  }
+  buckets_[{kernel, mode}] += seconds;
+}
+
+double KernelTimers::total(const std::string& kernel) const {
+  double sum = 0.0;
+  for (const auto& [key, sec] : buckets_) {
+    if (key.first == kernel) sum += sec;
+  }
+  return sum;
+}
+
+double KernelTimers::get(const std::string& kernel, int mode) const {
+  auto it = buckets_.find({kernel, mode});
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double KernelTimers::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [key, sec] : buckets_) sum += sec;
+  return sum;
+}
+
+void KernelTimers::merge_max(const KernelTimers& other) {
+  for (const auto& [key, sec] : other.buckets_) {
+    double& mine = buckets_[key];
+    mine = std::max(mine, sec);
+    if (std::find(order_.begin(), order_.end(), key.first) == order_.end()) {
+      order_.push_back(key.first);
+    }
+  }
+}
+
+void KernelTimers::clear() {
+  buckets_.clear();
+  order_.clear();
+}
+
+}  // namespace ptucker::util

@@ -1,0 +1,83 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timers and the per-kernel time breakdown used to
+/// reproduce the paper's Fig. 8 stacked Gram/Evecs/TTM bars.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptucker::util {
+
+/// Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named kernel timings, keyed by (kernel, mode).
+///
+/// The Tucker drivers record one entry per kernel invocation per tensor
+/// mode, mirroring the paper's Fig. 8 presentation where each ST-HOSVD bar
+/// is a stack of per-mode Gram / Evecs / TTM blocks.
+class KernelTimers {
+ public:
+  /// Add \p seconds to the (kernel, mode) bucket. Mode -1 = unattributed.
+  void add(const std::string& kernel, int mode, double seconds);
+
+  /// Total seconds across modes for one kernel.
+  [[nodiscard]] double total(const std::string& kernel) const;
+
+  /// Seconds for one (kernel, mode) bucket; 0 if never recorded.
+  [[nodiscard]] double get(const std::string& kernel, int mode) const;
+
+  /// Sum of all buckets.
+  [[nodiscard]] double grand_total() const;
+
+  /// Kernel names seen so far, in first-use order.
+  [[nodiscard]] const std::vector<std::string>& kernels() const {
+    return order_;
+  }
+
+  /// Merge another breakdown into this one (used to combine ranks).
+  void merge_max(const KernelTimers& other);
+
+  void clear();
+
+ private:
+  std::map<std::pair<std::string, int>, double> buckets_;
+  std::vector<std::string> order_;
+};
+
+/// RAII helper: times a scope into a KernelTimers bucket.
+class ScopedKernelTimer {
+ public:
+  ScopedKernelTimer(KernelTimers* sink, std::string kernel, int mode)
+      : sink_(sink), kernel_(std::move(kernel)), mode_(mode) {}
+  ~ScopedKernelTimer() {
+    if (sink_ != nullptr) sink_->add(kernel_, mode_, timer_.seconds());
+  }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  KernelTimers* sink_;
+  std::string kernel_;
+  int mode_;
+  Timer timer_;
+};
+
+}  // namespace ptucker::util

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "test_utils.hpp"
+#include "util/rng.hpp"
+
+namespace ptucker {
+namespace {
+
+using blas::Trans;
+
+/// Naive reference gemm.
+void ref_gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+              double alpha, const std::vector<double>& a, std::size_t lda,
+              const std::vector<double>& b, std::size_t ldb, double beta,
+              std::vector<double>& c, std::size_t ldc) {
+  auto at = [&](std::size_t i, std::size_t l) {
+    return ta == Trans::No ? a[i + l * lda] : a[l + i * lda];
+  };
+  auto bt = [&](std::size_t l, std::size_t j) {
+    return tb == Trans::No ? b[l + j * ldb] : b[j + l * ldb];
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t l = 0; l < k; ++l) s += at(i, l) * bt(l, j);
+      c[i + j * ldc] = beta * c[i + j * ldc] + alpha * s;
+    }
+  }
+}
+
+std::vector<double> random_buffer(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  util::Rng rng(seed);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Parameter: (m, n, k) — includes microkernel edges (MR=4, NR=8) and odd
+/// shapes.
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 8, 16),
+                      std::make_tuple(5, 9, 3), std::make_tuple(3, 7, 1),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 17, 29),
+                      std::make_tuple(128, 12, 4), std::make_tuple(2, 130, 70),
+                      std::make_tuple(150, 150, 150),
+                      std::make_tuple(260, 7, 300)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param)) + "k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(GemmShapes, AllTransposeCombosMatchReference) {
+  const auto [mi, ni, ki] = GetParam();
+  const std::size_t m = static_cast<std::size_t>(mi);
+  const std::size_t n = static_cast<std::size_t>(ni);
+  const std::size_t k = static_cast<std::size_t>(ki);
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      const std::size_t lda = (ta == Trans::No) ? m : k;
+      const std::size_t ldb = (tb == Trans::No) ? k : n;
+      const auto a = random_buffer(lda * ((ta == Trans::No) ? k : m), 1);
+      const auto b = random_buffer(ldb * ((tb == Trans::No) ? n : k), 2);
+      auto c = random_buffer(m * n, 3);
+      auto c_ref = c;
+      blas::gemm(ta, tb, m, n, k, 1.3, a.data(), lda, b.data(), ldb, 0.7,
+                 c.data(), m);
+      ref_gemm(ta, tb, m, n, k, 1.3, a, lda, b, ldb, 0.7, c_ref, m);
+      EXPECT_LT(testing::max_diff(c.data(), c_ref.data(), m * n), 1e-11)
+          << "ta=" << static_cast<int>(ta) << " tb=" << static_cast<int>(tb);
+    }
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesEvenNaN) {
+  const std::size_t m = 6;
+  const std::size_t n = 5;
+  const std::size_t k = 4;
+  const auto a = random_buffer(m * k, 1);
+  const auto b = random_buffer(k * n, 2);
+  std::vector<double> c(m * n, std::nan(""));
+  blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k,
+             0.0, c.data(), m);
+  for (double v : c) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  const std::size_t m = 3;
+  const std::size_t n = 3;
+  auto c = random_buffer(m * n, 5);
+  auto expected = c;
+  for (double& v : expected) v *= 2.0;
+  // k = 0 with beta = 2: pure scaling.
+  blas::gemm(Trans::No, Trans::No, m, n, 0, 1.0, nullptr, 1, nullptr, 1, 2.0,
+             c.data(), m);
+  EXPECT_LT(testing::max_diff(c.data(), expected.data(), m * n), 1e-15);
+}
+
+TEST(Gemm, LargerLeadingDimensions) {
+  const std::size_t m = 7;
+  const std::size_t n = 6;
+  const std::size_t k = 5;
+  const std::size_t lda = 11;
+  const std::size_t ldb = 9;
+  const std::size_t ldc = 13;
+  const auto a = random_buffer(lda * k, 1);
+  const auto b = random_buffer(ldb * n, 2);
+  auto c = random_buffer(ldc * n, 3);
+  auto c_ref = c;
+  blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), lda, b.data(), ldb,
+             0.0, c.data(), ldc);
+  ref_gemm(Trans::No, Trans::No, m, n, k, 1.0, a, lda, b, ldb, 0.0, c_ref,
+           ldc);
+  EXPECT_LT(testing::max_diff(c.data(), c_ref.data(), ldc * n), 1e-12);
+}
+
+TEST(Syrk, FullMatchesGemmBothTriangles) {
+  const std::size_t n = 17;
+  const std::size_t k = 23;
+  const auto a = random_buffer(n * k, 4);
+  std::vector<double> c(n * n, 0.0);
+  blas::syrk_full(Trans::No, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  std::vector<double> expected(n * n, 0.0);
+  ref_gemm(Trans::No, Trans::Yes, n, n, k, 1.0, a, n, a, n, 0.0, expected, n);
+  EXPECT_LT(testing::max_diff(c.data(), expected.data(), n * n), 1e-11);
+  // Result is symmetric.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(c[i + j * n], c[j + i * n], 1e-12);
+    }
+  }
+}
+
+TEST(Syrk, TransposedVariant) {
+  const std::size_t n = 9;
+  const std::size_t k = 31;
+  const auto a = random_buffer(k * n, 6);  // A is k x n; op(A) = A^T
+  std::vector<double> c(n * n, 0.0);
+  blas::syrk_full(Trans::Yes, n, k, 2.0, a.data(), k, 0.0, c.data(), n);
+  std::vector<double> expected(n * n, 0.0);
+  ref_gemm(Trans::Yes, Trans::No, n, n, k, 2.0, a, k, a, k, 0.0, expected, n);
+  EXPECT_LT(testing::max_diff(c.data(), expected.data(), n * n), 1e-11);
+}
+
+TEST(Syrk, LowerPlusSymmetrizeMatchesFull) {
+  const std::size_t n = 40;
+  const std::size_t k = 21;
+  const auto a = random_buffer(n * k, 7);
+  std::vector<double> full(n * n, 0.0);
+  blas::syrk_full(Trans::No, n, k, 1.0, a.data(), n, 0.0, full.data(), n);
+  std::vector<double> lower(n * n, 0.0);
+  blas::syrk_lower(Trans::No, n, k, 1.0, a.data(), n, 0.0, lower.data(), n);
+  blas::symmetrize_from_lower(n, lower.data(), n);
+  EXPECT_LT(testing::max_diff(full.data(), lower.data(), n * n), 1e-11);
+}
+
+TEST(Gemv, BothTransposesMatchReference) {
+  const std::size_t m = 13;
+  const std::size_t n = 9;
+  const auto a = random_buffer(m * n, 8);
+  const auto x = random_buffer(n, 9);
+  const auto xt = random_buffer(m, 10);
+  std::vector<double> y(m, 1.0);
+  blas::gemv(Trans::No, m, n, 2.0, a.data(), m, x.data(), 0.5, y.data());
+  std::vector<double> y_ref(m, 1.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += a[i + j * m] * x[j];
+    y_ref[i] = 0.5 * 1.0 + 2.0 * s;
+  }
+  EXPECT_LT(testing::max_diff(y.data(), y_ref.data(), m), 1e-12);
+
+  std::vector<double> z(n, 0.0);
+  blas::gemv(Trans::Yes, m, n, 1.0, a.data(), m, xt.data(), 0.0, z.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += a[i + j * m] * xt[i];
+    EXPECT_NEAR(z[j], s, 1e-12);
+  }
+}
+
+TEST(Level1, DotAxpyNrm2ScalCopy) {
+  const auto x = random_buffer(100, 11);
+  auto y = random_buffer(100, 12);
+  const auto y0 = y;
+
+  double dot_ref = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) dot_ref += x[i] * y[i];
+  EXPECT_NEAR(blas::dot(100, x.data(), y.data()), dot_ref, 1e-12);
+
+  blas::axpy(100, 2.5, x.data(), y.data());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(y[i], y0[i] + 2.5 * x[i], 1e-14);
+  }
+
+  double ss = 0.0;
+  for (double v : x) ss += v * v;
+  EXPECT_NEAR(blas::nrm2(100, x.data()), std::sqrt(ss), 1e-12);
+
+  auto z = x;
+  blas::scal(100, -3.0, z.data());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_NEAR(z[i], -3.0 * x[i], 1e-14);
+
+  std::vector<double> w(100);
+  blas::copy(100, x.data(), w.data());
+  EXPECT_EQ(testing::max_diff(w.data(), x.data(), 100), 0.0);
+}
+
+TEST(Level1, Nrm2OverflowSafety) {
+  std::vector<double> big = {1e200, 1e200};
+  EXPECT_NEAR(blas::nrm2(2, big.data()) / 1.414213562373095e200, 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0, 0.0};
+  EXPECT_EQ(blas::nrm2(3, zero.data()), 0.0);
+}
+
+TEST(GemmThreads, MultiThreadedMatchesSingleThreaded) {
+  // Sec. IX intra-kernel threading must be bit-compatible in structure:
+  // disjoint column stripes run the identical kernel, so results match the
+  // single-threaded run exactly.
+  const std::size_t m = 96;
+  const std::size_t n = 150;
+  const std::size_t k = 170;  // m*n*k > threshold so threading engages
+  const auto a = random_buffer(m * k, 21);
+  const auto b = random_buffer(k * n, 22);
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      const std::size_t lda = (ta == Trans::No) ? m : k;
+      const std::size_t ldb = (tb == Trans::No) ? k : n;
+      auto c1 = random_buffer(m * n, 23);
+      auto c4 = c1;
+      blas::set_gemm_threads(1);
+      blas::gemm(ta, tb, m, n, k, 1.5, a.data(), lda, b.data(), ldb, 0.5,
+                 c1.data(), m);
+      blas::set_gemm_threads(4);
+      blas::gemm(ta, tb, m, n, k, 1.5, a.data(), lda, b.data(), ldb, 0.5,
+                 c4.data(), m);
+      blas::set_gemm_threads(1);
+      EXPECT_EQ(testing::max_diff(c1.data(), c4.data(), m * n), 0.0)
+          << "ta=" << static_cast<int>(ta) << " tb=" << static_cast<int>(tb);
+    }
+  }
+}
+
+TEST(GemmThreads, FlopCountIndependentOfThreading) {
+  const std::size_t m = 128;
+  const std::size_t n = 128;
+  const std::size_t k = 128;
+  const auto a = random_buffer(m * k, 1);
+  const auto b = random_buffer(k * n, 2);
+  std::vector<double> c(m * n, 0.0);
+  blas::set_gemm_threads(3);
+  blas::reset_flop_count();
+  blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k,
+             0.0, c.data(), m);
+  blas::set_gemm_threads(1);
+  EXPECT_EQ(blas::flop_count(), 2ull * m * n * k);
+}
+
+TEST(GemmThreads, SmallProblemsStaySingleThreaded) {
+  // No crash / correct results below the size threshold.
+  blas::set_gemm_threads(8);
+  const std::size_t m = 5;
+  const std::size_t n = 6;
+  const std::size_t k = 4;
+  const auto a = random_buffer(m * k, 3);
+  const auto b = random_buffer(k * n, 4);
+  std::vector<double> c(m * n, 0.0);
+  std::vector<double> c_ref(m * n, 0.0);
+  blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k,
+             0.0, c.data(), m);
+  blas::set_gemm_threads(1);
+  ref_gemm(Trans::No, Trans::No, m, n, k, 1.0, a, m, b, k, 0.0, c_ref, m);
+  EXPECT_LT(testing::max_diff(c.data(), c_ref.data(), m * n), 1e-12);
+}
+
+TEST(Flops, GemmCountsTwoMNK) {
+  blas::reset_flop_count();
+  const std::size_t m = 10;
+  const std::size_t n = 11;
+  const std::size_t k = 12;
+  const auto a = random_buffer(m * k, 1);
+  const auto b = random_buffer(k * n, 2);
+  std::vector<double> c(m * n, 0.0);
+  blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k,
+             0.0, c.data(), m);
+  EXPECT_EQ(blas::flop_count(), 2ull * m * n * k);
+}
+
+TEST(Flops, SyrkLowerCountsAboutHalf) {
+  const std::size_t n = 128;
+  const std::size_t k = 64;
+  const auto a = random_buffer(n * k, 1);
+  std::vector<double> c(n * n, 0.0);
+  blas::reset_flop_count();
+  blas::syrk_full(Trans::No, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  const auto full_flops = blas::flop_count();
+  blas::reset_flop_count();
+  blas::syrk_lower(Trans::No, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  const auto lower_flops = blas::flop_count();
+  EXPECT_LT(static_cast<double>(lower_flops),
+            0.75 * static_cast<double>(full_flops));
+}
+
+}  // namespace
+}  // namespace ptucker

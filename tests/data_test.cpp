@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "core/seq/seq_tucker.hpp"
+#include "data/combustion.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using data::CombustionPreset;
+using data::CombustionSpec;
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Tensor;
+using testing::run_ranks;
+
+TEST(Synthetic, ExactLowRankHasExactRank) {
+  const Tensor x = data::make_low_rank_seq(Dims{10, 9, 8}, Dims{3, 2, 4}, 1);
+  core::seq::SeqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto result = core::seq::seq_st_hosvd(x, opts);
+  EXPECT_EQ(result.tucker.core.dims(), (Dims{3, 2, 4}));
+}
+
+TEST(Synthetic, NoiseRaisesResidualRank) {
+  const Tensor clean = data::make_low_rank_seq(Dims{8, 8, 8}, Dims{2, 2, 2}, 2);
+  const Tensor noisy =
+      data::make_low_rank_seq(Dims{8, 8, 8}, Dims{2, 2, 2}, 2, 0.5);
+  core::seq::SeqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto r_clean = core::seq::seq_st_hosvd(clean, opts);
+  const auto r_noisy = core::seq::seq_st_hosvd(noisy, opts);
+  EXPECT_GT(tensor::prod(r_noisy.tucker.core.dims()),
+            tensor::prod(r_clean.tucker.core.dims()));
+}
+
+TEST(Combustion, SpecScalesSpatialAndTimeDimsOnly) {
+  const CombustionSpec full = data::combustion_spec(CombustionPreset::HCCI, 1.0);
+  EXPECT_EQ(full.dims, (Dims{672, 672, 33, 627}));
+  const CombustionSpec small =
+      data::combustion_spec(CombustionPreset::HCCI, 0.05);
+  EXPECT_EQ(small.dims[2], 33u);  // species preserved
+  EXPECT_LT(small.dims[0], 60u);
+  EXPECT_GE(small.dims[0], 8u);
+}
+
+TEST(Combustion, PresetsHaveDocumentedShapes) {
+  EXPECT_EQ(data::combustion_spec(CombustionPreset::TJLR, 1.0).dims,
+            (Dims{460, 700, 360, 35, 16}));
+  EXPECT_EQ(data::combustion_spec(CombustionPreset::SP, 1.0).dims,
+            (Dims{500, 500, 500, 11, 50}));
+  EXPECT_STREQ(data::preset_name(CombustionPreset::SP), "SP");
+}
+
+TEST(Combustion, GenerationIsGridIndependent) {
+  CombustionSpec spec = data::combustion_spec(CombustionPreset::HCCI, 0.02);
+
+  const Tensor expected = data::make_combustion_seq(spec);
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1, 1});
+    const DistTensor x = data::make_combustion(grid, spec);
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_LT(testing::max_diff(expected, gathered), 1e-12);
+    }
+  });
+}
+
+TEST(Combustion, CompressibilityOrderingMatchesPaper) {
+  // SP must compress better than HCCI, which must compress better than
+  // TJLR, at the same relative error (paper Fig. 7). Measured at tiny scale.
+  auto ratio_for = [&](CombustionPreset preset) {
+    CombustionSpec spec = data::combustion_spec(preset, 0.02);
+
+    Tensor x = data::make_combustion_seq(spec);
+    data::normalize_species_seq(x, spec.species_mode);
+    core::seq::SeqOptions opts;
+    opts.epsilon = 1e-2;
+    const auto result = core::seq::seq_st_hosvd(x, opts);
+    return result.tucker.compression_ratio();
+  };
+  const double sp = ratio_for(CombustionPreset::SP);
+  const double hcci = ratio_for(CombustionPreset::HCCI);
+  const double tjlr = ratio_for(CombustionPreset::TJLR);
+  EXPECT_GT(sp, hcci);
+  EXPECT_GT(hcci, tjlr);
+}
+
+TEST(Normalize, SeqProducesZeroMeanUnitStd) {
+  CombustionSpec spec = data::combustion_spec(CombustionPreset::HCCI, 0.02);
+
+  Tensor x = data::make_combustion_seq(spec);
+  const auto stats = data::normalize_species_seq(x, spec.species_mode);
+  ASSERT_EQ(stats.mean.size(), x.dim(spec.species_mode));
+  // Re-measure: every species slice now has ~0 mean, ~1 std.
+  const auto verify = data::normalize_species_seq(x, spec.species_mode);
+  for (std::size_t s = 0; s < verify.mean.size(); ++s) {
+    EXPECT_NEAR(verify.mean[s], 0.0, 1e-10);
+    if (stats.stdev[s] >= data::kStdFloor) {
+      EXPECT_NEAR(verify.stdev[s], 1.0, 1e-8);
+    }
+  }
+}
+
+TEST(Normalize, DistMatchesSeq) {
+  CombustionSpec spec = data::combustion_spec(CombustionPreset::SP, 0.018);
+
+  Tensor expected = data::make_combustion_seq(spec);
+  const auto seq_stats =
+      data::normalize_species_seq(expected, spec.species_mode);
+  run_ranks(8, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1, 1, 2});
+    DistTensor x = data::make_combustion(grid, spec);
+    const auto stats = data::normalize_species(x, spec.species_mode);
+    for (std::size_t s = 0; s < stats.mean.size(); ++s) {
+      EXPECT_NEAR(stats.mean[s], seq_stats.mean[s],
+                  1e-9 * (1.0 + std::fabs(seq_stats.mean[s])));
+      EXPECT_NEAR(stats.stdev[s], seq_stats.stdev[s],
+                  1e-9 * (1.0 + seq_stats.stdev[s]));
+    }
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_LT(testing::max_diff(expected, gathered), 1e-9);
+    }
+  });
+}
+
+TEST(Normalize, DenormalizeRoundTrips) {
+  CombustionSpec spec = data::combustion_spec(CombustionPreset::HCCI, 0.02);
+
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1, 1});
+    DistTensor x = data::make_combustion(grid, spec);
+    const Tensor original = x.local();
+    const auto stats = data::normalize_species(x, spec.species_mode);
+    data::denormalize_species(x, stats);
+    EXPECT_LT(testing::max_diff(original, x.local()), 1e-9);
+  });
+}
+
+TEST(Normalize, ConstantSliceGetsStdFloorTreatment) {
+  // A species slice with zero variance must be centered but not divided.
+  Tensor x(Dims{4, 3, 5});
+  x.fill_from([](std::span<const std::size_t> idx) {
+    return idx[1] == 1 ? 7.5 : static_cast<double>(idx[0] + idx[2]);
+  });
+  const auto stats = data::normalize_species_seq(x, 1);
+  EXPECT_LT(stats.stdev[1], data::kStdFloor);
+  // Centered: slice 1 values are all zero now (not NaN/inf).
+  const tensor::UnfoldShape s = tensor::unfold_shape(x.dims(), 1);
+  for (std::size_t r = 0; r < s.right; ++r) {
+    for (std::size_t l = 0; l < s.left; ++l) {
+      EXPECT_DOUBLE_EQ(x[l + 1 * s.left + r * s.left * s.mid], 0.0);
+    }
+  }
+}
+
+TEST(Combustion, ModeSpectraDecayFasterForSteadyPreset) {
+  // The SP surrogate's spatial spectra must decay faster than TJLR's —
+  // that decay ordering is what drives the Fig. 6/7 reproduction.
+  auto spatial_tail = [&](CombustionPreset preset) {
+    CombustionSpec spec = data::combustion_spec(preset, 0.02);
+
+    Tensor x = data::make_combustion_seq(spec);
+    data::normalize_species_seq(x, spec.species_mode);
+    core::seq::SeqOptions opts;
+    opts.epsilon = 1e-4;
+    const auto result = core::seq::seq_st_hosvd(x, opts);
+    // Fraction of spectrum mass outside the top 5 eigenvalues of mode 0.
+    const auto& ev = result.mode_eigenvalues[0];
+    double total = 0.0;
+    double tail = 0.0;
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      total += std::max(0.0, ev[i]);
+      if (i >= 5) tail += std::max(0.0, ev[i]);
+    }
+    return tail / total;
+  };
+  EXPECT_LT(spatial_tail(CombustionPreset::SP),
+            spatial_tail(CombustionPreset::TJLR));
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "dist/dist_tensor.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Tensor;
+using testing::run_ranks;
+
+/// Grids used across the dist tests: cover Pn = 1, uneven splits, and
+/// extents that do not divide dims.
+struct GridCase {
+  std::vector<int> shape;
+};
+
+class DistGrids : public ::testing::TestWithParam<GridCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DistGrids,
+    ::testing::Values(GridCase{{1, 1, 1}}, GridCase{{2, 1, 1}},
+                      GridCase{{1, 3, 1}}, GridCase{{2, 2, 1}},
+                      GridCase{{2, 2, 2}}, GridCase{{4, 1, 2}},
+                      GridCase{{3, 2, 2}}, GridCase{{1, 1, 5}}),
+    [](const auto& info) { return testing::shape_name(info.param.shape); });
+
+int grid_size(const std::vector<int>& shape) {
+  int p = 1;
+  for (int e : shape) p *= e;
+  return p;
+}
+
+TEST_P(DistGrids, ScatterGatherRoundTrip) {
+  const auto& shape = GetParam().shape;
+  const Dims dims{7, 6, 5};  // not divisible by most grid extents
+  run_ranks(grid_size(shape), [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, shape);
+    Tensor global;
+    if (comm.rank() == 0) global = Tensor::randn(dims, 2024);
+    const DistTensor x = DistTensor::scatter(grid, global, 0);
+    const Tensor back = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(testing::max_diff(global, back), 0.0);
+    }
+  });
+}
+
+TEST_P(DistGrids, LocalBlocksTileTheGlobalIndexSpace) {
+  const auto& shape = GetParam().shape;
+  const Dims dims{5, 7, 4};
+  run_ranks(grid_size(shape), [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, shape);
+    DistTensor x(grid, dims);
+    // Sum of local sizes == global size (checked via all-reduce).
+    const double local_size = static_cast<double>(x.local().size());
+    const double total = mps::allreduce_scalar(comm, local_size);
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(tensor::prod(dims)));
+    // Mode ranges are consistent with local dims.
+    for (int n = 0; n < 3; ++n) {
+      EXPECT_EQ(x.mode_range(n).size(), x.local().dim(n));
+    }
+  });
+}
+
+TEST_P(DistGrids, FillGlobalIsGridIndependent) {
+  const auto& shape = GetParam().shape;
+  const Dims dims{6, 5, 4};
+  auto field = [](std::span<const std::size_t> idx) {
+    return static_cast<double>(idx[0] + 100 * idx[1] + 10000 * idx[2]);
+  };
+  // Reference: sequential fill.
+  Tensor expected(dims);
+  expected.fill_from(field);
+
+  run_ranks(grid_size(shape), [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, shape);
+    DistTensor x(grid, dims);
+    x.fill_global(field);
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(testing::max_diff(expected, gathered), 0.0);
+    }
+  });
+}
+
+TEST_P(DistGrids, NormSquaredMatchesGatheredNorm) {
+  const auto& shape = GetParam().shape;
+  const Dims dims{6, 6, 6};
+  run_ranks(grid_size(shape), [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, shape);
+    DistTensor x(grid, dims);
+    x.fill_global([](std::span<const std::size_t> idx) {
+      return std::sin(static_cast<double>(idx[0] + 2 * idx[1] + 3 * idx[2]));
+    });
+    const double dist_norm_sq = x.norm_squared();
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_NEAR(dist_norm_sq, gathered.norm_squared(),
+                  1e-10 * (1.0 + dist_norm_sq));
+    }
+  });
+}
+
+TEST_P(DistGrids, CloneIsDeep) {
+  const auto& shape = GetParam().shape;
+  run_ranks(grid_size(shape), [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, shape);
+    DistTensor x(grid, Dims{4, 4, 4});
+    x.fill_global([](std::span<const std::size_t>) { return 1.0; });
+    DistTensor y = x.clone();
+    if (y.local().size() > 0) y.local()[0] = -5.0;
+    if (x.local().size() > 0) {
+      EXPECT_DOUBLE_EQ(x.local()[0], 1.0);
+    }
+  });
+}
+
+TEST(DistTensor, GridSmallerThanSomeDimYieldsEmptyBlocks) {
+  // A 5-rank mode split over a dim of 3 leaves some ranks with empty blocks;
+  // everything must still work.
+  run_ranks(5, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {5, 1});
+    DistTensor x(grid, Dims{3, 4});
+    x.fill_global([](std::span<const std::size_t> idx) {
+      return static_cast<double>(idx[0] + idx[1]);
+    });
+    const double total = mps::allreduce_scalar(
+        comm, static_cast<double>(x.local().size()));
+    EXPECT_DOUBLE_EQ(total, 12.0);
+    const Tensor g = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(g.dims(), (Dims{3, 4}));
+    }
+  });
+}
+
+TEST(DistTensor, RejectsOrderMismatch) {
+  EXPECT_THROW(run_ranks(4,
+                         [](mps::Comm& comm) {
+                           auto grid = dist::make_grid(comm, {2, 2});
+                           DistTensor x(grid, Dims{4, 4, 4});  // 3-way on 2-way grid
+                         }),
+               InvalidArgument);
+}
+
+TEST(DefaultGridShape, ProducesValidShape) {
+  const auto shape = dist::default_grid_shape(12, Dims{100, 90, 80});
+  EXPECT_EQ(shape.size(), 3u);
+  EXPECT_EQ(shape[0] * shape[1] * shape[2], 12);
+}
+
+TEST(SyntheticLowRank, DistMatchesSeq) {
+  const Dims dims{8, 7, 6};
+  const Dims ranks{3, 2, 4};
+  const Tensor expected = data::make_low_rank_seq(dims, ranks, 31, 0.0);
+  run_ranks(8, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 2});
+    const DistTensor x = data::make_low_rank(grid, dims, ranks, 31, 0.0);
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_LT(testing::max_diff(expected, gathered), 1e-10);
+    }
+  });
+}
+
+TEST(SyntheticLowRank, NoiseFieldIsGridIndependent) {
+  const Dims dims{6, 6, 4};
+  const Dims ranks{2, 2, 2};
+  Tensor ref;
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x = data::make_low_rank(grid, dims, ranks, 5, 0.1);
+    ref = x.gather(0);
+  });
+  run_ranks(6, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {3, 2, 1});
+    const DistTensor x = data::make_low_rank(grid, dims, ranks, 5, 0.1);
+    const Tensor gathered = x.gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_LT(testing::max_diff(ref, gathered), 1e-10);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using dist::DistTensor;
+using tensor::Dims;
+using testing::run_ranks;
+
+/// Failure-injection and edge-condition tests: the library must fail loudly
+/// and promptly (no hangs, no silent corruption) on misuse.
+
+TEST(Failure, GridProductMismatchThrowsEverywhere) {
+  EXPECT_THROW(run_ranks(4,
+                         [](mps::Comm& comm) {
+                           (void)dist::make_grid(comm, {3, 2});
+                         }),
+               InvalidArgument);
+}
+
+TEST(Failure, NonPermutationModeOrderRejected) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{4, 4, 4}, Dims{2, 2, 2}, 1, 0.0);
+    core::SthosvdOptions opts;
+    opts.order_strategy = core::ModeOrderStrategy::Custom;
+    opts.custom_order = {0, 0, 2};  // repeats a mode
+    EXPECT_THROW((void)core::st_hosvd(x, opts), InvalidArgument);
+    opts.custom_order = {0, 1};  // wrong length
+    EXPECT_THROW((void)core::st_hosvd(x, opts), InvalidArgument);
+  });
+}
+
+TEST(Failure, WrongFixedRankCountRejected) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{4, 4, 4}, Dims{2, 2, 2}, 1, 0.0);
+    core::SthosvdOptions opts;
+    opts.fixed_ranks = {2, 2};  // three modes!
+    EXPECT_THROW((void)core::st_hosvd(x, opts), InvalidArgument);
+  });
+}
+
+TEST(Failure, NegativeEpsilonRejected) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{4, 4, 4}, Dims{2, 2, 2}, 1, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = -0.5;
+    EXPECT_THROW((void)core::st_hosvd(x, opts), InvalidArgument);
+  });
+}
+
+TEST(Failure, FixedRankLargerThanDimIsClamped) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{4, 4, 4}, Dims{2, 2, 2}, 1, 0.1);
+    core::SthosvdOptions opts;
+    opts.fixed_ranks = {10, 2, 2};  // mode 0 has only 4 rows
+    const auto result = core::st_hosvd(x, opts);
+    EXPECT_EQ(result.tucker.core_dims()[0], 4u);
+  });
+}
+
+TEST(Failure, EpsilonAboveOneCompressesToRankOne) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{6, 6, 6}, Dims{3, 3, 3}, 2, 0.2);
+    core::SthosvdOptions opts;
+    opts.epsilon = 10.0;  // absurd tolerance: everything may be truncated
+    const auto result = core::st_hosvd(x, opts);
+    EXPECT_EQ(result.tucker.core_dims(), (Dims{1, 1, 1}));
+  });
+}
+
+TEST(Failure, UnitDimensionsWork) {
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{6, 1, 5}, Dims{2, 1, 2}, 3, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    const auto result = core::st_hosvd(x, opts);
+    EXPECT_EQ(result.tucker.core_dims()[1], 1u);
+  });
+}
+
+TEST(Failure, MoreRanksThanModeExtent) {
+  // Pn = 4 over a dim of 2: two ranks hold empty blocks through the whole
+  // pipeline (gram, eigenvectors, ttm).
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {4, 1});
+    DistTensor x(grid, Dims{2, 8});
+    x.fill_global([](std::span<const std::size_t> idx) {
+      return static_cast<double>(idx[0] + 1) *
+             std::sin(static_cast<double>(idx[1]));
+    });
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-6;
+    const auto result = core::st_hosvd(x, opts);
+    EXPECT_LE(result.tucker.core_dims()[0], 2u);
+  });
+}
+
+TEST(Failure, AbortDuringCollectiveUnblocksAllRanks) {
+  // One rank throws while others are inside a barrier-like collective; the
+  // abort must propagate promptly rather than hanging until timeout.
+  mps::Runtime rt(4);
+  rt.set_recv_timeout_ms(60000);
+  util::Timer timer;
+  EXPECT_THROW(rt.run([](mps::Comm& comm) {
+    if (comm.rank() == 3) {
+      throw InvalidArgument("injected failure before collective");
+    }
+    std::vector<double> v(64, 1.0);
+    mps::allreduce(comm, std::span<double>(v));
+  }),
+               InvalidArgument);
+  EXPECT_LT(timer.seconds(), 30.0);
+}
+
+TEST(Failure, MismatchedCollectiveParticipationIsDetected) {
+  // Rank 1 skips the all-reduce: the others eventually hit the recv
+  // timeout (deadlock detection) instead of hanging forever.
+  mps::Runtime rt(2);
+  rt.set_recv_timeout_ms(300);
+  EXPECT_THROW(rt.run([](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> v(64, 1.0);
+      mps::allreduce(comm, std::span<double>(v));
+    }
+    // rank 1 returns immediately.
+  }),
+               Error);
+}
+
+TEST(Failure, ZeroSizedTensorNormIsZero) {
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1});
+    DistTensor x(grid, Dims{1, 4});  // rank 1 holds an empty block
+    EXPECT_DOUBLE_EQ(x.norm_squared(), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/reconstruct.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using core::SthosvdOptions;
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Matrix;
+using tensor::Tensor;
+using testing::run_ranks;
+
+/// Mathematical invariants of the Tucker machinery that must hold
+/// regardless of distribution, ordering, or kernel choices.
+
+TEST(Invariants, CoreNormNeverExceedsDataNorm) {
+  // ‖G‖ = ‖X x {U^T}‖ ≤ ‖X‖ for orthonormal U columns.
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 8, 8}, Dims{4, 4, 4}, 3, 0.2);
+    for (double eps : {0.5, 0.1, 1e-3}) {
+      SthosvdOptions opts;
+      opts.epsilon = eps;
+      const auto result = core::st_hosvd(x, opts);
+      EXPECT_LE(result.tucker.core.norm_squared(),
+                x.norm_squared() * (1.0 + 1e-12));
+    }
+  });
+}
+
+TEST(Invariants, ReconstructionNormEqualsCoreNorm) {
+  // ‖X̃‖ = ‖G x {U}‖ = ‖G‖ (orthonormal factors preserve norms).
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 2, 2});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{7, 8, 6}, Dims{3, 3, 3}, 5, 0.15);
+    SthosvdOptions opts;
+    opts.epsilon = 0.3;
+    const auto result = core::st_hosvd(x, opts);
+    const DistTensor xt = core::reconstruct(result.tucker);
+    EXPECT_NEAR(xt.norm_squared(), result.tucker.core.norm_squared(),
+                1e-9 * (1.0 + xt.norm_squared()));
+  });
+}
+
+TEST(Invariants, CoreIsAllOrthogonalForExactData) {
+  // For exactly low-rank data (no truncation of nonzero spectrum) the core
+  // inherits HOSVD all-orthogonality: every mode-n Gram of G is diagonal.
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{9, 8, 7}, Dims{3, 4, 2}, 7, 0.0);
+    SthosvdOptions opts;
+    opts.epsilon = 1e-6;
+    const auto result = core::st_hosvd(x, opts);
+    const Tensor core_global = result.tucker.core.gather(0);
+    if (comm.rank() == 0) {
+      for (int n = 0; n < 3; ++n) {
+        const Matrix s = tensor::local_gram(core_global, n);
+        double max_diag = 0.0;
+        double max_off = 0.0;
+        for (std::size_t j = 0; j < s.cols(); ++j) {
+          for (std::size_t i = 0; i < s.rows(); ++i) {
+            if (i == j) {
+              max_diag = std::max(max_diag, std::fabs(s(i, j)));
+            } else {
+              max_off = std::max(max_off, std::fabs(s(i, j)));
+            }
+          }
+        }
+        EXPECT_LT(max_off, 1e-8 * max_diag)
+            << "core not all-orthogonal in mode " << n;
+      }
+    }
+  });
+}
+
+TEST(Invariants, FactorSubspacesAreGridInvariant) {
+  // Factors may differ by sign/rotation across grids, but the projectors
+  // U U^T must agree.
+  const Dims dims{8, 7, 6};
+  const Dims ranks{3, 2, 3};
+  std::vector<Matrix> projectors_a(3);
+  std::vector<Matrix> projectors_b(3);
+  auto run_on = [&](const std::vector<int>& shape,
+                    std::vector<Matrix>& out) {
+    int p = 1;
+    for (int e : shape) p *= e;
+    run_ranks(p, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, shape);
+      const DistTensor x = data::make_low_rank(grid, dims, ranks, 9, 0.05);
+      SthosvdOptions opts;
+      opts.fixed_ranks = ranks;
+      const auto result = core::st_hosvd(x, opts);
+      if (comm.rank() == 0) {
+        for (int n = 0; n < 3; ++n) {
+          const Matrix& u =
+              result.tucker.factors[static_cast<std::size_t>(n)];
+          out[static_cast<std::size_t>(n)] =
+              Matrix::multiply(u, false, u, true);
+        }
+      }
+    });
+  };
+  run_on({1, 1, 1}, projectors_a);
+  run_on({2, 2, 2}, projectors_b);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_LT(testing::max_diff(projectors_a[static_cast<std::size_t>(n)],
+                                projectors_b[static_cast<std::size_t>(n)]),
+              1e-7)
+        << "mode-" << n << " subspace depends on the grid";
+  }
+}
+
+TEST(Invariants, CompressionIsIdempotentAtFixedRanks) {
+  // Compressing the reconstruction again with the same ranks loses
+  // (almost) nothing: X̃ is already in the model set.
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 8, 8}, Dims{4, 4, 4}, 11, 0.2);
+    SthosvdOptions opts;
+    opts.fixed_ranks = {3, 3, 3};
+    const auto first = core::st_hosvd(x, opts);
+    const DistTensor xt = core::reconstruct(first.tucker);
+    const auto second = core::st_hosvd(xt, opts);
+    const DistTensor xtt = core::reconstruct(second.tucker);
+    EXPECT_LT(core::normalized_error(xt, xtt), 1e-9);
+  });
+}
+
+TEST(Invariants, ErrorBoundDecomposesIntoModeTails) {
+  // error_bound^2 * ‖X‖^2 == sum over modes of the truncated tail of the
+  // spectrum *at processing time* (the eq. 3 bookkeeping).
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 8, 8}, Dims{3, 3, 3}, 13, 0.15);
+    SthosvdOptions opts;
+    opts.epsilon = 0.3;
+    const auto result = core::st_hosvd(x, opts);
+    double tail_sum = 0.0;
+    for (int n = 0; n < 3; ++n) {
+      const auto& spectrum =
+          result.mode_eigenvalues[static_cast<std::size_t>(n)];
+      const std::size_t rank =
+          result.tucker.factors[static_cast<std::size_t>(n)].cols();
+      for (std::size_t i = rank; i < spectrum.size(); ++i) {
+        tail_sum += std::max(0.0, spectrum[i]);
+      }
+    }
+    EXPECT_NEAR(result.error_bound * result.error_bound * result.norm_x_sq,
+                tail_sum, 1e-9 * (1.0 + tail_sum));
+  });
+}
+
+TEST(Invariants, ActualErrorNeverExceedsBound) {
+  // ‖X − X̃‖/‖X‖ ≤ error_bound, for several epsilons and datasets.
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 2});
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const DistTensor x = data::make_low_rank(grid, Dims{8, 7, 9},
+                                               Dims{3, 3, 3}, seed, 0.2);
+      for (double eps : {0.5, 0.2, 0.05}) {
+        SthosvdOptions opts;
+        opts.epsilon = eps;
+        const auto result = core::st_hosvd(x, opts);
+        const DistTensor xt = core::reconstruct(result.tucker);
+        const double err = core::normalized_error(x, xt);
+        // The absolute 1e-12 allows for fp rounding when nothing was
+        // truncated (bound exactly 0, reconstruction noise ~1e-15).
+        EXPECT_LE(err, result.error_bound * (1.0 + 1e-9) + 1e-12)
+            << "seed " << seed << " eps " << eps;
+        EXPECT_LE(result.error_bound, eps * (1.0 + 1e-12));
+      }
+    }
+  });
+}
+
+TEST(Invariants, PythagorasAcrossTruncationLevels) {
+  // For nested fixed ranks r1 < r2: err(r1)^2 >= err(r2)^2 and the core
+  // norms order the other way (monotone refinement).
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{9, 9, 9}, Dims{5, 5, 5}, 17, 0.25);
+    double prev_core = -1.0;
+    double prev_err = 2.0;
+    for (std::size_t r : {2u, 3u, 4u, 5u}) {
+      SthosvdOptions opts;
+      opts.fixed_ranks = {r, r, r};
+      const auto result = core::st_hosvd(x, opts);
+      const DistTensor xt = core::reconstruct(result.tucker);
+      const double err = core::normalized_error(x, xt);
+      const double core_norm = result.tucker.core.norm_squared();
+      EXPECT_GE(core_norm, prev_core - 1e-12);
+      EXPECT_LE(err, prev_err + 1e-12);
+      prev_core = core_norm;
+      prev_err = err;
+    }
+  });
+}
+
+TEST(Invariants, TtmChainNormContraction) {
+  // Multiplying by U^T (orthonormal columns) never increases the norm.
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    DistTensor x(grid, Dims{8, 8, 8});
+    x.fill_global([](std::span<const std::size_t> idx) {
+      return std::cos(static_cast<double>(idx[0] + 3 * idx[1] + 7 * idx[2]));
+    });
+    double norm = x.norm_squared();
+    DistTensor y = x.clone();
+    for (int n = 0; n < 3; ++n) {
+      const Matrix u = Matrix::random_orthonormal(8, 5, 100 + n);
+      y = dist::ttm(y, u.transposed(), n);
+      const double next = y.norm_squared();
+      EXPECT_LE(next, norm * (1.0 + 1e-12));
+      norm = next;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mps/cart.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using testing::run_ranks;
+
+TEST(CartGrid, CoordinateRankRoundTrip) {
+  run_ranks(12, [](mps::Comm& comm) {
+    mps::CartGrid grid(comm, {3, 2, 2});
+    const auto coords = grid.coords();
+    EXPECT_EQ(grid.rank_of(coords), comm.rank());
+    EXPECT_EQ(grid.coords_of(comm.rank()), coords);
+    // Mode-1 varies fastest in the linearization.
+    if (comm.rank() == 1) {
+      EXPECT_EQ(coords[0], 1);
+      EXPECT_EQ(coords[1], 0);
+      EXPECT_EQ(coords[2], 0);
+    }
+  });
+}
+
+TEST(CartGrid, RejectsMismatchedShape) {
+  EXPECT_THROW(run_ranks(6,
+                         [](mps::Comm& comm) {
+                           mps::CartGrid grid(comm, {2, 2});  // product 4 != 6
+                         }),
+               InvalidArgument);
+}
+
+TEST(CartGrid, ModeCommVariesOnlyThatMode) {
+  run_ranks(12, [](mps::Comm& comm) {
+    mps::CartGrid grid(comm, {3, 2, 2});
+    for (int n = 0; n < 3; ++n) {
+      const mps::Comm& mc = grid.mode_comm(n);
+      ASSERT_TRUE(mc.valid());
+      EXPECT_EQ(mc.size(), grid.extent(n));
+      // The paper's convention: rank within the processor column equals the
+      // mode coordinate.
+      EXPECT_EQ(mc.rank(), grid.coord(n));
+      // All members share the other coordinates: all-gather a linearized id
+      // of the non-n coordinates and check it is constant across the comm.
+      int id = 0;
+      for (int m = 2; m >= 0; --m) {
+        if (m != n) id = id * grid.extent(m) + grid.coord(m);
+      }
+      std::vector<int> ids(static_cast<std::size_t>(mc.size()));
+      mps::allgather(mc, std::span<const int>(&id, 1), std::span<int>(ids));
+      for (int other : ids) EXPECT_EQ(other, id);
+    }
+  });
+}
+
+TEST(CartGrid, SliceCommHoldsComplement) {
+  run_ranks(12, [](mps::Comm& comm) {
+    mps::CartGrid grid(comm, {3, 2, 2});
+    for (int n = 0; n < 3; ++n) {
+      const mps::Comm& sc = grid.slice_comm(n);
+      ASSERT_TRUE(sc.valid());
+      EXPECT_EQ(sc.size(), 12 / grid.extent(n));
+      // All members share coordinate n.
+      std::vector<int> coords(static_cast<std::size_t>(sc.size()));
+      const int mine = grid.coord(n);
+      mps::allgather(sc, std::span<const int>(&mine, 1),
+                     std::span<int>(coords));
+      for (int c : coords) EXPECT_EQ(c, mine);
+    }
+  });
+}
+
+TEST(CartGrid, ModeAndSliceCommsPartitionTheGrid) {
+  run_ranks(8, [](mps::Comm& comm) {
+    mps::CartGrid grid(comm, {2, 2, 2});
+    for (int n = 0; n < 3; ++n) {
+      // Every rank belongs to exactly one mode comm (of size Pn) and one
+      // slice comm (of size P/Pn); their product covers the grid.
+      EXPECT_EQ(grid.mode_comm(n).size() * grid.slice_comm(n).size(), 8);
+    }
+  });
+}
+
+TEST(CartGrid, TrivialExtentsAllowed) {
+  run_ranks(4, [](mps::Comm& comm) {
+    mps::CartGrid grid(comm, {1, 4, 1});
+    EXPECT_EQ(grid.mode_comm(0).size(), 1);
+    EXPECT_EQ(grid.mode_comm(1).size(), 4);
+    EXPECT_EQ(grid.slice_comm(1).size(), 1);
+    EXPECT_EQ(grid.coord(0), 0);
+  });
+}
+
+TEST(GridShapes, AllShapesEnumeratesEveryFactorization) {
+  const auto shapes = mps::all_grid_shapes(12, 2);
+  // 12 = 1x12, 2x6, 3x4, 4x3, 6x2, 12x1.
+  EXPECT_EQ(shapes.size(), 6u);
+  std::set<std::vector<int>> unique(shapes.begin(), shapes.end());
+  EXPECT_EQ(unique.size(), shapes.size());
+  for (const auto& s : shapes) {
+    EXPECT_EQ(s[0] * s[1], 12);
+  }
+}
+
+TEST(GridShapes, AllShapesOrderThree) {
+  const auto shapes = mps::all_grid_shapes(8, 3);
+  // Number of ordered factorizations of 8 = 2^3 into 3 factors: C(3+2,2)=10.
+  EXPECT_EQ(shapes.size(), 10u);
+}
+
+TEST(GridShapes, HeuristicPrefersUnitFirstExtent) {
+  const auto shapes =
+      mps::heuristic_grid_shapes(16, tensor::Dims{64, 64, 64, 64}, 4);
+  ASSERT_FALSE(shapes.empty());
+  EXPECT_EQ(shapes.front()[0], 1)
+      << "paper Sec. VIII-B: best grids have P1 = 1";
+}
+
+TEST(GridShapes, HeuristicAvoidsExtentsLargerThanDims) {
+  const auto shapes = mps::heuristic_grid_shapes(16, tensor::Dims{2, 64, 64}, 2);
+  for (const auto& s : shapes) {
+    EXPECT_LE(s[0], 2);
+  }
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mps/collectives.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using testing::run_ranks;
+
+TEST(P2P, SendRecvDeliversPayload) {
+  run_ranks(2, [](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data = {1.0, 2.0, 3.0};
+      comm.send(std::span<const double>(data), 1, 7);
+    } else {
+      std::vector<double> data(3);
+      comm.recv(std::span<double>(data), 0, 7);
+      EXPECT_DOUBLE_EQ(data[0], 1.0);
+      EXPECT_DOUBLE_EQ(data[1], 2.0);
+      EXPECT_DOUBLE_EQ(data[2], 3.0);
+    }
+  });
+}
+
+TEST(P2P, TagsAreMatchedNotJustSources) {
+  run_ranks(2, [](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      const double a = 1.0;
+      const double b = 2.0;
+      comm.send(std::span<const double>(&a, 1), 1, 10);
+      comm.send(std::span<const double>(&b, 1), 1, 20);
+    } else {
+      double b = 0.0;
+      double a = 0.0;
+      // Receive in the reverse order of sending: matching must be by tag.
+      comm.recv(std::span<double>(&b, 1), 0, 20);
+      comm.recv(std::span<double>(&a, 1), 0, 10);
+      EXPECT_DOUBLE_EQ(a, 1.0);
+      EXPECT_DOUBLE_EQ(b, 2.0);
+    }
+  });
+}
+
+TEST(P2P, PerSourceFifoOrderWithinOneTag) {
+  run_ranks(2, [](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const double v = i;
+        comm.send(std::span<const double>(&v, 1), 1, 5);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        double v = -1.0;
+        comm.recv(std::span<double>(&v, 1), 0, 5);
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(P2P, RingExchangeWithEagerSends) {
+  // Everyone sends before receiving; must not deadlock (eager sends).
+  const int p = 8;
+  run_ranks(p, [p](mps::Comm& comm) {
+    const int r = comm.rank();
+    const double mine = r;
+    double from_left = -1.0;
+    comm.send(std::span<const double>(&mine, 1), (r + 1) % p, 0);
+    comm.recv(std::span<double>(&from_left, 1), (r - 1 + p) % p, 0);
+    EXPECT_DOUBLE_EQ(from_left, static_cast<double>((r - 1 + p) % p));
+  });
+}
+
+TEST(P2P, AnySizeReceive) {
+  run_ranks(2, [](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(37, std::byte{9});
+      comm.send_bytes(payload, 1, 3);
+    } else {
+      const auto payload = comm.recv_bytes_any_size(0, 3);
+      EXPECT_EQ(payload.size(), 37u);
+      EXPECT_EQ(payload[0], std::byte{9});
+    }
+  });
+}
+
+TEST(P2P, SelfSendWorks) {
+  run_ranks(1, [](mps::Comm& comm) {
+    const double v = 3.5;
+    comm.send(std::span<const double>(&v, 1), 0, 0);
+    double w = 0.0;
+    comm.recv(std::span<double>(&w, 1), 0, 0);
+    EXPECT_DOUBLE_EQ(w, 3.5);
+  });
+}
+
+TEST(P2P, SizeMismatchThrows) {
+  EXPECT_THROW(run_ranks(2,
+                         [](mps::Comm& comm) {
+                           if (comm.rank() == 0) {
+                             std::vector<double> data(3);
+                             comm.send(std::span<const double>(data), 1, 0);
+                           } else {
+                             std::vector<double> data(5);
+                             comm.recv(std::span<double>(data), 0, 0);
+                           }
+                         }),
+               InternalError);
+}
+
+TEST(Runtime, ExceptionInOneRankPropagatesToCaller) {
+  EXPECT_THROW(
+      run_ranks(4,
+                [](mps::Comm& comm) {
+                  if (comm.rank() == 2) {
+                    throw InvalidArgument("rank 2 failed");
+                  }
+                  // Other ranks block on a receive that never arrives; the
+                  // abort must wake them.
+                  std::vector<double> buf(1);
+                  comm.recv(std::span<double>(buf), (comm.rank() + 1) % 4, 9);
+                }),
+      InvalidArgument);
+}
+
+TEST(Runtime, RecvTimeoutDetectsDeadlock) {
+  mps::Runtime rt(2);
+  rt.set_recv_timeout_ms(200);
+  EXPECT_THROW(rt.run([](mps::Comm& comm) {
+    std::vector<double> buf(1);
+    // Both ranks wait for a message nobody sends.
+    comm.recv(std::span<double>(buf), 1 - comm.rank(), 0);
+  }),
+               Error);
+}
+
+TEST(Runtime, LeftoverMessagesAreReported) {
+  mps::Runtime rt(2);
+  EXPECT_THROW(rt.run([](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      const double v = 1.0;
+      comm.send(std::span<const double>(&v, 1), 1, 0);  // never received
+    }
+  }),
+               InternalError);
+}
+
+TEST(Runtime, StatsCountMessagesAndWords) {
+  mps::Runtime rt(2);
+  rt.run([](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data(16);
+      comm.send(std::span<const double>(data), 1, 0);
+    } else {
+      std::vector<double> data(16);
+      comm.recv(std::span<double>(data), 0, 0);
+    }
+  });
+  EXPECT_EQ(rt.rank_stats(0).messages_sent, 1u);
+  EXPECT_DOUBLE_EQ(rt.rank_stats(0).words_sent(), 16.0);
+  EXPECT_EQ(rt.rank_stats(1).messages_sent, 0u);
+  EXPECT_EQ(rt.total_stats().messages_sent, 1u);
+}
+
+TEST(Runtime, StatsResetBetweenRuns) {
+  mps::Runtime rt(2);
+  auto body = [](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      const double v = 0.0;
+      comm.send(std::span<const double>(&v, 1), 1, 0);
+    } else {
+      double v = 0.0;
+      comm.recv(std::span<double>(&v, 1), 0, 0);
+    }
+  };
+  rt.run(body);
+  EXPECT_EQ(rt.total_stats().messages_sent, 1u);
+  rt.reset_stats();
+  EXPECT_EQ(rt.total_stats().messages_sent, 0u);
+  rt.run(body);
+  EXPECT_EQ(rt.total_stats().messages_sent, 1u);
+}
+
+TEST(Runtime, ManyRanksOversubscribed) {
+  // More ranks than cores must still complete (threads block, not spin).
+  const int p = 48;
+  std::atomic<int> visited{0};
+  run_ranks(p, [&](mps::Comm& comm) {
+    comm.barrier();
+    visited.fetch_add(1);
+  });
+  EXPECT_EQ(visited.load(), p);
+}
+
+TEST(Runtime, SplitByParity) {
+  run_ranks(6, [](mps::Comm& comm) {
+    mps::Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Communicate within the sub-communicator only.
+    std::vector<double> v = {static_cast<double>(comm.rank())};
+    std::vector<double> all(3);
+    mps::allgather(sub, std::span<const double>(v), std::span<double>(all));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(i)],
+                       static_cast<double>(2 * i + comm.rank() % 2));
+    }
+  });
+}
+
+TEST(Runtime, SplitWithNegativeColorYieldsNullComm) {
+  run_ranks(4, [](mps::Comm& comm) {
+    mps::Comm sub = comm.split(comm.rank() == 0 ? -1 : 0, comm.rank());
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(Runtime, NestedSplitsGetDistinctContexts) {
+  // Messages on a child communicator must not be visible to the parent.
+  run_ranks(4, [](mps::Comm& comm) {
+    mps::Comm a = comm.split(0, comm.rank());
+    mps::Comm b = comm.split(0, comm.rank());
+    // Send on a, then on b, receive in opposite order: contexts isolate.
+    if (comm.rank() == 0) {
+      const double va = 1.0;
+      const double vb = 2.0;
+      a.send(std::span<const double>(&va, 1), 1, 0);
+      b.send(std::span<const double>(&vb, 1), 1, 0);
+    } else if (comm.rank() == 1) {
+      double vb = 0.0;
+      double va = 0.0;
+      b.recv(std::span<double>(&vb, 1), 0, 0);
+      a.recv(std::span<double>(&va, 1), 0, 0);
+      EXPECT_DOUBLE_EQ(va, 1.0);
+      EXPECT_DOUBLE_EQ(vb, 2.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mps/cart.hpp"
+#include "mps/collectives.hpp"
+#include "test_utils.hpp"
+#include "util/rng.hpp"
+
+namespace ptucker {
+namespace {
+
+using testing::run_ranks;
+
+/// Stress and determinism tests for the message-passing substrate: the
+/// distributed algorithms above it are only as trustworthy as these
+/// primitives under load.
+
+TEST(Stress, RandomizedPointToPointTraffic) {
+  // Every rank sends a random (but deterministic) set of messages to random
+  // peers, then receives exactly what it expects; repeated 3 rounds.
+  const int p = 9;
+  run_ranks(p, [p](mps::Comm& comm) {
+    const int me = comm.rank();
+    for (int round = 0; round < 3; ++round) {
+      // Schedule known to all ranks: sender s sends to (s + k) % p for
+      // k = 1..s%4+1, payload = s*1000 + k + round.
+      for (int k = 1; k <= me % 4 + 1; ++k) {
+        const double payload = me * 1000 + k + round;
+        comm.send(std::span<const double>(&payload, 1), (me + k) % p,
+                  100 + round);
+      }
+      for (int s = 0; s < p; ++s) {
+        for (int k = 1; k <= s % 4 + 1; ++k) {
+          if ((s + k) % p != me) continue;
+          double got = -1.0;
+          comm.recv(std::span<double>(&got, 1), s, 100 + round);
+          EXPECT_DOUBLE_EQ(got, s * 1000 + k + round);
+        }
+      }
+    }
+  });
+}
+
+TEST(Stress, LargePayloadsSurvive) {
+  const std::size_t count = 1 << 20;  // 8 MB per message
+  run_ranks(2, [&](mps::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(count);
+      std::iota(big.begin(), big.end(), 0.0);
+      comm.send(std::span<const double>(big), 1, 0);
+    } else {
+      std::vector<double> big(count);
+      comm.recv(std::span<double>(big), 0, 0);
+      EXPECT_DOUBLE_EQ(big.front(), 0.0);
+      EXPECT_DOUBLE_EQ(big.back(), static_cast<double>(count - 1));
+    }
+  });
+}
+
+TEST(Stress, ManyConcurrentSubCommunicators) {
+  // Build 8 sub-communicators and use all of them interleaved; context
+  // isolation must keep their traffic apart.
+  const int p = 8;
+  run_ranks(p, [p](mps::Comm& comm) {
+    std::vector<mps::Comm> subs;
+    for (int i = 0; i < 8; ++i) {
+      subs.push_back(comm.split(comm.rank() % (i + 1), comm.rank()));
+    }
+    for (int i = 7; i >= 0; --i) {
+      double v = comm.rank() + i;
+      const double sum = mps::allreduce_scalar(subs[static_cast<std::size_t>(i)], v);
+      // Reference: sum over ranks with the same color.
+      double expected = 0.0;
+      for (int r = 0; r < p; ++r) {
+        if (r % (i + 1) == comm.rank() % (i + 1)) expected += r + i;
+      }
+      EXPECT_DOUBLE_EQ(sum, expected) << "sub-communicator " << i;
+    }
+  });
+}
+
+TEST(Stress, RuntimeReuseAcrossManyRuns) {
+  mps::Runtime rt(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    rt.run([iter](mps::Comm& comm) {
+      double v = comm.rank() + iter;
+      v = mps::allreduce_scalar(comm, v);
+      EXPECT_DOUBLE_EQ(v, 6.0 + 4.0 * iter);
+    });
+  }
+}
+
+TEST(Stress, BitwiseDeterministicCollectives) {
+  // Floating-point all-reduce must produce bitwise identical results on
+  // every rank and across repeated runs (fixed reduction order).
+  const int p = 7;
+  std::vector<std::vector<double>> first(static_cast<std::size_t>(p));
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    run_ranks(p, [&, repeat](mps::Comm& comm) {
+      util::Rng rng(500 + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<double> buf(257);
+      for (double& x : buf) x = rng.normal() * 1e-8 + rng.normal();
+      mps::allreduce(comm, std::span<double>(buf));
+      auto& slot = first[static_cast<std::size_t>(comm.rank())];
+      if (repeat == 0) {
+        slot = buf;
+      } else {
+        EXPECT_EQ(testing::max_diff(slot.data(), buf.data(), buf.size()),
+                  0.0)
+            << "all-reduce result changed between runs";
+      }
+    });
+  }
+  // All ranks agree bitwise.
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(testing::max_diff(first[0].data(),
+                                first[static_cast<std::size_t>(r)].data(),
+                                first[0].size()),
+              0.0);
+  }
+}
+
+TEST(Stress, IntegerCollectives) {
+  run_ranks(5, [](mps::Comm& comm) {
+    int v = comm.rank() + 1;
+    mps::allreduce(comm, std::span<int>(&v, 1));
+    EXPECT_EQ(v, 15);
+    long mn = 100 - comm.rank();
+    mps::allreduce(comm, std::span<long>(&mn, 1), mps::Min<long>{});
+    EXPECT_EQ(mn, 96);
+  });
+}
+
+TEST(Stress, NestedCartesianGrids) {
+  // A grid over a slice communicator of another grid — the pattern the
+  // Tucker drivers rely on implicitly via sub-communicators.
+  run_ranks(12, [](mps::Comm& comm) {
+    mps::CartGrid outer(comm, {3, 4});
+    const mps::Comm& col = outer.slice_comm(0);  // 4 ranks sharing coord 0
+    ASSERT_EQ(col.size(), 4);
+    mps::CartGrid inner(col, {2, 2});
+    const double sum = mps::allreduce_scalar(
+        inner.comm(), static_cast<double>(comm.rank()));
+    // Sum of the 4 world ranks in my slice; cross-check via the outer comm.
+    double expected = 0.0;
+    for (int r = 0; r < 12; ++r) {
+      if (outer.coords_of(r)[0] == outer.coord(0)) expected += r;
+    }
+    EXPECT_DOUBLE_EQ(sum, expected);
+  });
+}
+
+TEST(Stress, EmptyPayloadCollectives) {
+  run_ranks(4, [](mps::Comm& comm) {
+    std::vector<double> empty;
+    mps::broadcast(comm, std::span<double>(empty), 0);
+    mps::allreduce(comm, std::span<double>(empty));
+    std::vector<double> all;
+    std::vector<std::size_t> counts(4, 0);
+    mps::allgatherv(comm, std::span<const double>(empty),
+                    std::span<double>(all),
+                    std::span<const std::size_t>(counts));
+    SUCCEED();
+  });
+}
+
+TEST(Stress, BarrierHeavyInterleaving) {
+  // Alternate barriers with asymmetric p2p to shake out tag collisions
+  // between the dissemination barrier and user traffic.
+  run_ranks(6, [](mps::Comm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() == i % 6) {
+        const double v = i;
+        comm.send(std::span<const double>(&v, 1), (i + 1) % 6, i);
+      }
+      comm.barrier();
+      if (comm.rank() == (i + 1) % 6) {
+        double v = -1.0;
+        comm.recv(std::span<double>(&v, 1), i % 6, i);
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Stress, GatherScatterRoundTripLargeBlocks) {
+  const int p = 6;
+  run_ranks(p, [p](mps::Comm& comm) {
+    // scatter blocks of different sizes, transform, gather back.
+    std::vector<std::vector<double>> blocks;
+    if (comm.rank() == 0) {
+      blocks.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        blocks[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(1000 * (r + 1)), r + 0.5);
+      }
+    }
+    auto mine = mps::scatter_varied(comm, blocks, 0);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(1000 * (comm.rank() + 1)));
+    for (double& v : mine) v *= 2.0;
+    const auto gathered =
+        mps::gather_varied(comm, std::span<const double>(mine), 0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        const auto& block = gathered[static_cast<std::size_t>(r)];
+        EXPECT_EQ(block.size(), static_cast<std::size_t>(1000 * (r + 1)));
+        EXPECT_DOUBLE_EQ(block.front(), 2.0 * (r + 0.5));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/query.hpp"
+#include "core/reconstruct.hpp"
+#include "core/seq/seq_tucker.hpp"
+#include "core/st_hosvd.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using core::CompressedQuery;
+using core::TuckerTensor;
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Tensor;
+using testing::run_ranks;
+
+TuckerTensor make_model(std::shared_ptr<mps::CartGrid> grid, const Dims& dims,
+                        const Dims& ranks, std::uint64_t seed) {
+  const DistTensor x = data::make_low_rank(grid, dims, ranks, seed, 0.05);
+  core::SthosvdOptions opts;
+  opts.epsilon = 1e-3;
+  return core::st_hosvd(x, opts).tucker;
+}
+
+TEST(Query, ElementMatchesReconstruction) {
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const Dims dims{9, 8, 7};
+    const TuckerTensor model = make_model(grid, dims, Dims{3, 3, 2}, 3);
+    const CompressedQuery query(model);
+    const Tensor full = core::reconstruct(model).gather(0);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < 9; i += 2) {
+        for (std::size_t j = 0; j < 8; j += 3) {
+          for (std::size_t k = 0; k < 7; k += 2) {
+            const std::size_t idx[] = {i, j, k};
+            EXPECT_NEAR(query.element(idx), full.at(idx), 1e-11)
+                << "(" << i << "," << j << "," << k << ")";
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(Query, EveryRankCanAnswerIdentically) {
+  // After construction the query is communication-free and replicated.
+  const int p = 4;
+  std::vector<double> answers(static_cast<std::size_t>(p));
+  run_ranks(p, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2});
+    const TuckerTensor model =
+        make_model(grid, Dims{10, 8}, Dims{3, 2}, 5);
+    const CompressedQuery query(model);
+    const std::size_t idx[] = {7, 3};
+    answers[static_cast<std::size_t>(comm.rank())] = query.element(idx);
+  });
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(answers[0], answers[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Query, FiberMatchesReconstructionColumn) {
+  run_ranks(2, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    const Dims dims{8, 7, 6};
+    const TuckerTensor model = make_model(grid, dims, Dims{3, 2, 2}, 7);
+    const CompressedQuery query(model);
+    const Tensor full = core::reconstruct(model).gather(0);
+    if (comm.rank() == 0) {
+      for (int mode = 0; mode < 3; ++mode) {
+        const std::size_t idx[] = {2, 4, 1};
+        const auto fiber = query.fiber(mode, idx);
+        ASSERT_EQ(fiber.size(), dims[static_cast<std::size_t>(mode)]);
+        std::size_t probe[] = {2, 4, 1};
+        for (std::size_t i = 0; i < fiber.size(); ++i) {
+          probe[static_cast<std::size_t>(mode)] = i;
+          EXPECT_NEAR(fiber[i], full.at(probe), 1e-11)
+              << "mode " << mode << " position " << i;
+        }
+      }
+    }
+  });
+}
+
+TEST(Query, LocalConstructorWorksWithoutCommunication) {
+  const Tensor x = data::make_low_rank_seq(Dims{8, 8, 8}, Dims{2, 2, 2}, 9);
+  core::seq::SeqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto result = core::seq::seq_st_hosvd(x, opts);
+  const CompressedQuery query(result.tucker.core, result.tucker.factors);
+  const std::size_t idx[] = {3, 5, 2};
+  EXPECT_NEAR(query.element(idx), x.at(idx), 1e-8);
+}
+
+TEST(Query, RejectsOutOfRangeIndex) {
+  const Tensor x = data::make_low_rank_seq(Dims{6, 6}, Dims{2, 2}, 11);
+  core::seq::SeqOptions opts;
+  const auto result = core::seq::seq_st_hosvd(x, opts);
+  const CompressedQuery query(result.tucker.core, result.tucker.factors);
+  const std::size_t bad[] = {6, 0};
+  EXPECT_THROW((void)query.element(bad), InvalidArgument);
+}
+
+TEST(GramOverlap, OverlappedRingMatchesDefault) {
+  run_ranks(8, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {4, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 8, 6}, Dims{3, 3, 3}, 13, 0.1);
+    for (int mode = 0; mode < 3; ++mode) {
+      const auto plain = dist::gram(x, mode, dist::GramAlgo::FullStorage);
+      const auto overlapped =
+          dist::gram(x, mode, dist::GramAlgo::OverlappedRing);
+      EXPECT_EQ(plain.range.lo, overlapped.range.lo);
+      EXPECT_LT(testing::max_diff(plain.cols, overlapped.cols), 1e-12)
+          << "mode " << mode;
+    }
+  });
+}
+
+TEST(GramOverlap, SthosvdWithOverlapMatchesDefault) {
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 7, 6}, Dims{3, 3, 3}, 15, 0.1);
+    core::SthosvdOptions a;
+    a.epsilon = 0.2;
+    core::SthosvdOptions b = a;
+    b.gram_algo = dist::GramAlgo::OverlappedRing;
+    const auto ra = core::st_hosvd(x, a);
+    const auto rb = core::st_hosvd(x, b);
+    EXPECT_EQ(ra.tucker.core_dims(), rb.tucker.core_dims());
+    EXPECT_NEAR(ra.tucker.core.norm_squared(), rb.tucker.core.norm_squared(),
+                1e-9 * (1.0 + ra.tucker.core.norm_squared()));
+  });
+}
+
+}  // namespace
+}  // namespace ptucker
