@@ -1,0 +1,103 @@
+#include "dist/gram.hpp"
+
+#include <cstring>
+
+#include "mps/collectives.hpp"
+
+namespace ptucker::dist {
+
+namespace {
+
+constexpr int kTagGramRing = 310;
+
+/// Copy \p block (rows x my_cols) into rows [row_lo, row_lo + rows) of the
+/// assembled block column \p cols (jn x my_cols).
+void fill_rows(tensor::Matrix& cols, std::size_t row_lo,
+               const tensor::Matrix& block) {
+  for (std::size_t j = 0; j < block.cols(); ++j) {
+    std::memcpy(cols.col(j) + row_lo, block.col(j),
+                block.rows() * sizeof(double));
+  }
+}
+
+/// Local dims of the block owned by mode-coordinate \p coord (all other
+/// modes as in my own block — ranks of a mode comm share those).
+tensor::Dims block_dims_at(const DistTensor& x, int mode, int coord) {
+  tensor::Dims dims = x.local().dims();
+  dims[static_cast<std::size_t>(mode)] = x.mode_range_of(mode, coord).size();
+  return dims;
+}
+
+}  // namespace
+
+GramColumns gram(const DistTensor& x, int mode, GramAlgo algo,
+                 util::KernelTimers* timers) {
+  PT_REQUIRE(mode >= 0 && mode < x.order(), "gram: mode out of range");
+  util::ScopedKernelTimer scope(timers, "Gram", mode);
+
+  const std::size_t jn = x.global_dim(mode);
+  const util::Range my_range = x.mode_range(mode);
+  const mps::CartGrid& grid = x.grid();
+  const int pn = grid.extent(mode);
+  const int c = grid.coord(mode);
+
+  if (algo == GramAlgo::Auto) {
+    algo = pn > 2 ? GramAlgo::OverlappedRing : GramAlgo::FullStorage;
+  }
+
+  tensor::Matrix cols(jn, my_range.size());
+
+  // Diagonal block: my rows x my columns of S, from my own local block.
+  const tensor::Matrix own =
+      algo == GramAlgo::ExploitSymmetry
+          ? tensor::local_gram_sym(x.local(), mode)
+          : tensor::local_gram(x.local(), mode);
+  fill_rows(cols, my_range.lo, own);
+
+  if (pn > 1) {
+    const mps::Comm& ring = grid.mode_comm(mode);
+    if (algo == GramAlgo::OverlappedRing) {
+      // Post every send up front (sends are eager), then fold incoming
+      // blocks while later transfers are still in flight.
+      for (int l = 0; l < pn; ++l) {
+        if (l == c) continue;
+        ring.send(std::span<const double>(x.local().span()), l, kTagGramRing);
+      }
+      for (int l = 0; l < pn; ++l) {
+        if (l == c) continue;
+        tensor::Tensor incoming(block_dims_at(x, mode, l));
+        ring.recv(incoming.span(), l, kTagGramRing);
+        const tensor::Matrix cross =
+            tensor::local_cross_gram(incoming, x.local(), mode);
+        fill_rows(cols, x.mode_range_of(mode, l).lo, cross);
+      }
+    } else {
+      // Stepwise ring (Alg. 4): after step s the traveling block is the one
+      // owned by coordinate (c - s) mod Pn.
+      const int right = (c + 1) % pn;
+      const int left = (c - 1 + pn) % pn;
+      tensor::Tensor travel;  // step 1 sends my block directly, no copy
+      const tensor::Tensor* outgoing = &x.local();
+      for (int step = 1; step < pn; ++step) {
+        const int src = (c - step + pn) % pn;
+        ring.send(std::span<const double>(outgoing->span()), right,
+                  kTagGramRing);
+        tensor::Tensor incoming(block_dims_at(x, mode, src));
+        ring.recv(incoming.span(), left, kTagGramRing);
+        travel = std::move(incoming);
+        outgoing = &travel;
+        const tensor::Matrix cross =
+            tensor::local_cross_gram(travel, x.local(), mode);
+        fill_rows(cols, x.mode_range_of(mode, src).lo, cross);
+      }
+    }
+  }
+
+  // Sum the partial block column over the processor row (the ranks holding
+  // the other unfolding-column blocks).
+  mps::allreduce(grid.slice_comm(mode), cols.span());
+
+  return GramColumns{std::move(cols), my_range};
+}
+
+}  // namespace ptucker::dist

@@ -1,0 +1,37 @@
+#pragma once
+/// \file gram.hpp
+/// \brief Distributed Gram matrix S = Y(n) Y(n)^T (paper Alg. 4).
+///
+/// Each rank ends up with the block column S(:, range) matching its mode-n
+/// index range, replicated across its processor row. The kernel shifts local
+/// blocks around the mode-n "processor column" (ranks differing only in
+/// coordinate n own the same unfolding columns but different row blocks),
+/// computes one cross-Gram per received block, and all-reduces the assembled
+/// block column over the "processor row" to sum over unfolding columns.
+
+#include "dist/dist_tensor.hpp"
+#include "tensor/local_kernels.hpp"
+#include "util/timer.hpp"
+
+namespace ptucker::dist {
+
+enum class GramAlgo {
+  Auto,             ///< FullStorage for short rings, OverlappedRing otherwise
+  FullStorage,      ///< stepwise ring, both triangles computed (paper default)
+  ExploitSymmetry,  ///< symmetric kernel for the diagonal block (Sec. IX)
+  OverlappedRing,   ///< all ring sends posted up front (Sec. IX overlap item)
+};
+
+/// A rank's block column of the Gram matrix: cols is Jn x range.size(),
+/// holding columns [range.lo, range.hi) of the full Jn x Jn matrix.
+struct GramColumns {
+  tensor::Matrix cols;
+  util::Range range;
+};
+
+/// Collective: compute this rank's Gram block column for mode n.
+[[nodiscard]] GramColumns gram(const DistTensor& x, int mode,
+                               GramAlgo algo = GramAlgo::Auto,
+                               util::KernelTimers* timers = nullptr);
+
+}  // namespace ptucker::dist

@@ -1,0 +1,27 @@
+#include "dist/grid.hpp"
+
+namespace ptucker::dist {
+
+std::shared_ptr<mps::CartGrid> make_grid(mps::Comm& comm,
+                                         std::vector<int> shape) {
+  long long product = 1;
+  for (int extent : shape) {
+    PT_REQUIRE(extent >= 1, "make_grid: grid extents must be >= 1");
+    product *= extent;
+  }
+  PT_REQUIRE(product == comm.size(),
+             "make_grid: grid shape product " << product
+                                              << " != communicator size "
+                                              << comm.size());
+  return std::make_shared<mps::CartGrid>(comm, std::move(shape));
+}
+
+std::vector<int> default_grid_shape(int p, const tensor::Dims& dims) {
+  PT_REQUIRE(p >= 1, "default_grid_shape: p must be >= 1");
+  PT_REQUIRE(!dims.empty(), "default_grid_shape: dims must be non-empty");
+  const auto shapes = mps::heuristic_grid_shapes(p, dims, 1);
+  PT_CHECK(!shapes.empty(), "default_grid_shape: no factorization found");
+  return shapes.front();
+}
+
+}  // namespace ptucker::dist

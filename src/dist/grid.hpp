@@ -1,0 +1,31 @@
+#pragma once
+/// \file grid.hpp
+/// \brief Processor-grid construction for the distributed Tucker layer.
+///
+/// A thin facade over mps::CartGrid (paper Sec. IV): the grid maps the P
+/// ranks onto a logical P1 x ... x PN lattice and exposes, per mode, the
+/// "processor column" (mode_comm) and "processor row" (slice_comm)
+/// sub-communicators the Gram / TTM / eigenvector kernels communicate over.
+/// Grids are shared (shared_ptr) because every DistTensor produced from a
+/// tensor keeps the grid of its input alive.
+
+#include <memory>
+
+#include "mps/cart.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ptucker::dist {
+
+/// Collective: build the Cartesian grid and its 2N sub-communicators.
+/// Requires prod(shape) == comm.size() (throws InvalidArgument otherwise).
+[[nodiscard]] std::shared_ptr<mps::CartGrid> make_grid(mps::Comm& comm,
+                                                       std::vector<int> shape);
+
+/// Heuristic grid shape for \p p ranks and a tensor of the given dims:
+/// prefers P1 = 1 (paper Sec. VIII-B), extents dividing the dims evenly,
+/// and squat grids. The returned shape always satisfies prod(shape) == p
+/// and shape.size() == dims.size().
+[[nodiscard]] std::vector<int> default_grid_shape(int p,
+                                                  const tensor::Dims& dims);
+
+}  // namespace ptucker::dist

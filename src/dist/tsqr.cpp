@@ -1,0 +1,123 @@
+#include "dist/tsqr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "lapack/lapack.hpp"
+#include "mps/collectives.hpp"
+
+namespace ptucker::dist {
+
+namespace {
+
+constexpr int kTagTsqr = 320;
+
+/// R factor of one local block: the transposed unfolding (cols x Jn),
+/// zero-padded to at least Jn rows so qr_thin's m >= n holds even for
+/// blocks narrower than Jn (including empty ones).
+tensor::Matrix local_r_factor(const tensor::Tensor& y, int mode) {
+  const tensor::UnfoldShape s = tensor::unfold_shape(y.dims(), mode);
+  const std::size_t jn = s.mid;
+  const std::size_t cols = s.left * s.right;
+  tensor::Matrix r(jn, jn);
+  if (y.size() == 0) return r;
+
+  const std::size_t rows = std::max(cols, jn);
+  tensor::Matrix a(rows, jn);  // A = Y(n)^T, zero rows beyond `cols`
+  for (std::size_t ri = 0; ri < s.right; ++ri) {
+    for (std::size_t j = 0; j < jn; ++j) {
+      for (std::size_t l = 0; l < s.left; ++l) {
+        a(l + ri * s.left, j) = y[l + j * s.left + ri * s.left * s.mid];
+      }
+    }
+  }
+  tensor::Matrix q(rows, jn);
+  la::qr_thin(a.data(), rows, jn, rows, q.data(), rows, r.data(), jn);
+  return r;
+}
+
+/// Stack two Jn x Jn R factors and re-factor: the TSQR combine step.
+tensor::Matrix combine_r(const tensor::Matrix& top,
+                         const tensor::Matrix& bottom) {
+  const std::size_t jn = top.rows();
+  tensor::Matrix stacked(2 * jn, jn);
+  for (std::size_t j = 0; j < jn; ++j) {
+    std::memcpy(stacked.col(j), top.col(j), jn * sizeof(double));
+    std::memcpy(stacked.col(j) + jn, bottom.col(j), jn * sizeof(double));
+  }
+  tensor::Matrix q(2 * jn, jn);
+  tensor::Matrix r(jn, jn);
+  la::qr_thin(stacked.data(), 2 * jn, jn, 2 * jn, q.data(), 2 * jn, r.data(),
+              jn);
+  return r;
+}
+
+}  // namespace
+
+bool tsqr_applicable(const DistTensor& x, int mode) {
+  PT_REQUIRE(mode >= 0 && mode < x.order(),
+             "tsqr_applicable: mode out of range");
+  return x.grid().extent(mode) == 1;
+}
+
+tensor::Matrix tsqr_r_factor(const DistTensor& x, int mode,
+                             util::KernelTimers* timers) {
+  PT_REQUIRE(mode >= 0 && mode < x.order(), "tsqr: mode out of range");
+  PT_REQUIRE(tsqr_applicable(x, mode),
+             "tsqr: mode " << mode << " is distributed (Pn = "
+                           << x.grid().extent(mode)
+                           << "); TSQR needs Pn == 1");
+  util::ScopedKernelTimer scope(timers, "TSQR", mode);
+
+  tensor::Matrix r = local_r_factor(x.local(), mode);
+
+  // Binomial combine tree over the whole grid (Pn = 1, so the unfolding's
+  // columns are spread over all P ranks), root 0, then broadcast.
+  const mps::Comm& comm = x.grid().comm();
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t jn = r.rows();
+  int mask = 1;
+  while (mask < p) {
+    if ((rank & mask) != 0) {
+      comm.send(std::span<const double>(r.span()), rank - mask, kTagTsqr);
+      break;
+    }
+    const int partner = rank | mask;
+    if (partner < p) {
+      tensor::Matrix other(jn, jn);
+      comm.recv(other.span(), partner, kTagTsqr);
+      r = combine_r(r, other);
+    }
+    mask <<= 1;
+  }
+  mps::broadcast(comm, r.span(), 0);
+  return r;
+}
+
+FactorResult factor_via_tsqr(const DistTensor& x, int mode,
+                             const RankSelection& select,
+                             util::KernelTimers* timers) {
+  const tensor::Matrix r = tsqr_r_factor(x, mode, timers);
+  util::ScopedKernelTimer scope(timers, "Evecs", mode);
+  const std::size_t jn = r.rows();
+
+  // Y(n) = R^T Q^T, so the left singular vectors of Y(n) are those of R^T;
+  // R is small, so the SVD runs redundantly on every rank.
+  const tensor::Matrix rt = r.transposed();
+  const la::JacobiSvd svd = la::jacobi_svd(rt.data(), jn, jn, jn);
+
+  FactorResult result;
+  result.eigenvalues.resize(jn);
+  for (std::size_t i = 0; i < jn; ++i) {
+    result.eigenvalues[i] = svd.sigma[i] * svd.sigma[i];
+  }
+  result.rank = select.resolve(result.eigenvalues);
+  result.u = tensor::Matrix(jn, result.rank);
+  std::memcpy(result.u.data(), svd.u.data(),
+              jn * result.rank * sizeof(double));
+  detail::canonicalize_columns(result.u);
+  return result;
+}
+
+}  // namespace ptucker::dist

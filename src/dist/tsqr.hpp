@@ -1,0 +1,37 @@
+#pragma once
+/// \file tsqr.hpp
+/// \brief Communication-avoiding TSQR factorization of the mode-n unfolding
+/// (paper Sec. IX): the Gram-free route to the factor matrix.
+///
+/// Requires Pn = 1 for the mode: every rank then owns all Jn rows of the
+/// unfolding over a disjoint set of columns, so the transposed unfolding is
+/// a tall matrix row-partitioned over all P ranks. Each rank computes a
+/// local Householder QR, the Jn x Jn R factors are combined up a binomial
+/// tree, and the final R (with R^T R = Y(n) Y(n)^T) is broadcast. Because R
+/// is produced without ever squaring Y, singular values as small as
+/// machine-eps times the largest remain resolvable — the deep spectral tail
+/// the Gram route flattens.
+
+#include "dist/eigenvectors.hpp"
+
+namespace ptucker::dist {
+
+/// True when the TSQR route can factor mode n: the grid keeps that mode's
+/// rows together (Pn == 1).
+[[nodiscard]] bool tsqr_applicable(const DistTensor& x, int mode);
+
+/// Collective: the Jn x Jn R factor of the transposed mode-n unfolding,
+/// replicated on every rank. Throws InvalidArgument when not applicable.
+[[nodiscard]] tensor::Matrix tsqr_r_factor(const DistTensor& x, int mode,
+                                           util::KernelTimers* timers =
+                                               nullptr);
+
+/// Collective: factor matrix via TSQR + small SVD of R^T. Returns the same
+/// FactorResult shape as eigenvectors(): eigenvalues are squared singular
+/// values (full length Jn, descending), U is Jn x rank, sign-canonicalized.
+[[nodiscard]] FactorResult factor_via_tsqr(const DistTensor& x, int mode,
+                                           const RankSelection& select,
+                                           util::KernelTimers* timers =
+                                               nullptr);
+
+}  // namespace ptucker::dist

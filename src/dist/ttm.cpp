@@ -1,0 +1,132 @@
+#include "dist/ttm.hpp"
+
+#include <cstring>
+
+#include "mps/collectives.hpp"
+
+namespace ptucker::dist {
+
+namespace {
+
+/// M restricted to the columns matching this rank's mode-n row range.
+tensor::Matrix my_column_block(const tensor::Matrix& m,
+                               const util::Range& range) {
+  return m.col_block(range);
+}
+
+/// Blocked Alg. 3: Pn rounds; round l multiplies by the l-th row block of M
+/// and binomial-reduces the partial to the rank owning output block l.
+void ttm_blocked(const DistTensor& x, const tensor::Matrix& m_cols, int mode,
+                 DistTensor& z) {
+  const mps::CartGrid& grid = x.grid();
+  const mps::Comm& col_comm = grid.mode_comm(mode);
+  const int pn = grid.extent(mode);
+  const int c = grid.coord(mode);
+
+  tensor::Dims partial_dims = x.local().dims();
+  for (int l = 0; l < pn; ++l) {
+    const util::Range out_block = z.mode_range_of(mode, l);
+    const tensor::Matrix m_block = m_cols.row_block(out_block);
+    partial_dims[static_cast<std::size_t>(mode)] = out_block.size();
+    tensor::Tensor partial(partial_dims);
+    tensor::local_ttm_into(x.local(), m_block, mode, partial);
+    mps::reduce(col_comm, std::span<const double>(partial.span()),
+                c == l ? std::span<double>(z.local().span())
+                       : std::span<double>(),
+                l);
+  }
+}
+
+/// Single multiply + reduce-scatter: compute all K output rows locally,
+/// repack per destination block, scatter-reduce within the column.
+void ttm_reduce_scatter(const DistTensor& x, const tensor::Matrix& m_cols,
+                        int mode, DistTensor& z) {
+  const mps::CartGrid& grid = x.grid();
+  const mps::Comm& col_comm = grid.mode_comm(mode);
+  const int pn = grid.extent(mode);
+
+  tensor::Dims partial_dims = x.local().dims();
+  partial_dims[static_cast<std::size_t>(mode)] = m_cols.rows();
+  tensor::Tensor partial(partial_dims);
+  tensor::local_ttm_into(x.local(), m_cols, mode, partial);
+
+  // Pack the partial per destination: block l of the mode-n extent becomes
+  // the contiguous chunk reduce-scatter delivers to coordinate l.
+  std::vector<double> packed(partial.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(pn));
+  std::vector<util::Range> ranges(partial_dims.size());
+  for (std::size_t n = 0; n < partial_dims.size(); ++n) {
+    ranges[n] = util::Range{0, partial_dims[n]};
+  }
+  std::size_t offset = 0;
+  for (int l = 0; l < pn; ++l) {
+    ranges[static_cast<std::size_t>(mode)] = z.mode_range_of(mode, l);
+    const tensor::Tensor block = partial.subtensor(ranges);
+    counts[static_cast<std::size_t>(l)] = block.size();
+    std::memcpy(packed.data() + offset, block.data(),
+                block.size() * sizeof(double));
+    offset += block.size();
+  }
+  PT_CHECK(offset == packed.size(), "ttm: packing size mismatch");
+
+  mps::reduce_scatter(col_comm, std::span<const double>(packed),
+                      std::span<double>(z.local().span()),
+                      std::span<const std::size_t>(counts));
+}
+
+}  // namespace
+
+DistTensor ttm(const DistTensor& x, const tensor::Matrix& m, int mode,
+               TtmAlgo algo, util::KernelTimers* timers) {
+  PT_REQUIRE(mode >= 0 && mode < x.order(), "ttm: mode out of range");
+  const std::size_t jn = x.global_dim(mode);
+  PT_REQUIRE(m.cols() == jn, "ttm: matrix has "
+                                 << m.cols() << " columns but mode " << mode
+                                 << " has global extent " << jn);
+  util::ScopedKernelTimer scope(timers, "TTM", mode);
+
+  const std::size_t k = m.rows();
+  tensor::Dims out_dims = x.global_dims();
+  out_dims[static_cast<std::size_t>(mode)] = k;
+  DistTensor z(x.grid_ptr(), out_dims);
+
+  const int pn = x.grid().extent(mode);
+  if (pn == 1) {
+    // Paper Sec. V-B: no parallel communication at all when Pn = 1.
+    tensor::local_ttm_into(x.local(), m, mode, z.local());
+    return z;
+  }
+
+  const tensor::Matrix m_cols = my_column_block(m, x.mode_range(mode));
+  if (algo == TtmAlgo::Auto) {
+    algo = (k * static_cast<std::size_t>(pn) <= jn) ? TtmAlgo::ReduceScatter
+                                                    : TtmAlgo::Blocked;
+  }
+  if (algo == TtmAlgo::ReduceScatter) {
+    ttm_reduce_scatter(x, m_cols, mode, z);
+  } else {
+    ttm_blocked(x, m_cols, mode, z);
+  }
+  return z;
+}
+
+DistTensor ttm_chain(const DistTensor& x,
+                     const std::vector<const tensor::Matrix*>& ms,
+                     const std::vector<int>& order, TtmAlgo algo,
+                     util::KernelTimers* timers) {
+  PT_REQUIRE(ms.size() == static_cast<std::size_t>(x.order()),
+             "ttm_chain: need one matrix slot per mode");
+  DistTensor result;
+  bool first = true;
+  for (int n : order) {
+    PT_REQUIRE(n >= 0 && n < x.order(), "ttm_chain: mode out of range");
+    const tensor::Matrix* m = ms[static_cast<std::size_t>(n)];
+    PT_REQUIRE(m != nullptr, "ttm_chain: no matrix for mode " << n);
+    result = ttm(first ? x : result, *m, n, algo, timers);
+    first = false;
+  }
+  if (first) return x.clone();
+  return result;
+}
+
+}  // namespace ptucker::dist

@@ -5,6 +5,7 @@
 #include "dist/eigenvectors.hpp"
 #include "dist/gram.hpp"
 #include "dist/grid.hpp"
+#include "lapack/lapack.hpp"
 #include "test_utils.hpp"
 #include "util/rng.hpp"
 

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using tensor::Dims;
+using testing::run_ranks;
+
+/// Focused coverage of the dist grid facade: shape validation, the
+/// default-shape heuristic, and the sub-communicator invariants the Gram /
+/// TTM kernels rely on.
+
+TEST(MakeGrid, SubCommunicatorSizesAndCoordinates) {
+  run_ranks(12, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {3, 2, 2});
+    ASSERT_EQ(grid->order(), 3);
+    int p = 1;
+    for (int n = 0; n < 3; ++n) p *= grid->extent(n);
+    EXPECT_EQ(p, 12);
+    for (int n = 0; n < 3; ++n) {
+      // Processor column: size Pn, my rank there == my coordinate.
+      EXPECT_EQ(grid->mode_comm(n).size(), grid->extent(n));
+      EXPECT_EQ(grid->mode_comm(n).rank(), grid->coord(n));
+      // Processor row: the complementary size.
+      EXPECT_EQ(grid->slice_comm(n).size(), 12 / grid->extent(n));
+    }
+    // Round trip rank <-> coordinates.
+    EXPECT_EQ(grid->rank_of(grid->coords()), comm.rank());
+  });
+}
+
+TEST(MakeGrid, RejectsWrongProduct) {
+  EXPECT_THROW(run_ranks(4,
+                         [](mps::Comm& comm) {
+                           (void)dist::make_grid(comm, {2, 3});
+                         }),
+               InvalidArgument);
+}
+
+TEST(MakeGrid, RejectsNonPositiveExtent) {
+  EXPECT_THROW(run_ranks(2,
+                         [](mps::Comm& comm) {
+                           (void)dist::make_grid(comm, {2, 0});
+                         }),
+               InvalidArgument);
+}
+
+TEST(MakeGrid, SingleRankSingleMode) {
+  run_ranks(1, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1});
+    EXPECT_EQ(grid->order(), 1);
+    EXPECT_EQ(grid->comm().size(), 1);
+    (void)comm;
+  });
+}
+
+TEST(DefaultGridShape, ProductAndOrderAlwaysMatch) {
+  const Dims dims{100, 90, 80};
+  for (int p : {1, 2, 3, 4, 6, 7, 8, 12, 16, 17}) {
+    const auto shape = dist::default_grid_shape(p, dims);
+    ASSERT_EQ(shape.size(), dims.size()) << "p = " << p;
+    int product = 1;
+    for (int e : shape) {
+      EXPECT_GE(e, 1);
+      product *= e;
+    }
+    EXPECT_EQ(product, p) << "p = " << p;
+  }
+}
+
+TEST(DefaultGridShape, PrefersUnitFirstExtent) {
+  // Paper Sec. VIII-B: the first (most expensive) mode should stay whole
+  // whenever a factorization with P1 = 1 exists.
+  for (int p : {2, 4, 8, 12}) {
+    const auto shape = dist::default_grid_shape(p, Dims{64, 64, 64});
+    EXPECT_EQ(shape[0], 1) << "p = " << p;
+  }
+}
+
+TEST(DefaultGridShape, WorksForPrimeRankCounts) {
+  const auto shape = dist::default_grid_shape(13, Dims{40, 40});
+  int product = 1;
+  for (int e : shape) product *= e;
+  EXPECT_EQ(product, 13);
+}
+
+TEST(DefaultGridShape, UsableByMakeGrid) {
+  const Dims dims{9, 7, 5};
+  run_ranks(6, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, dist::default_grid_shape(6, dims));
+    EXPECT_EQ(grid->comm().size(), 6);
+    (void)comm;
+  });
+}
+
+}  // namespace
+}  // namespace ptucker

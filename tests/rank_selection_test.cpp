@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/eigenvectors.hpp"
+#include "dist/gram.hpp"
+#include "dist/grid.hpp"
+#include "test_utils.hpp"
+#include "util/rng.hpp"
+
+namespace ptucker {
+namespace {
+
+using dist::RankSelection;
+using tensor::Dims;
+using testing::run_ranks;
+
+/// Edge cases of the eps^2 ||X||^2 / N tail criterion (paper eq. 3 / Alg. 1
+/// line 5) beyond what dist_gram_test exercises.
+
+TEST(SelectRankByTail, ZeroThresholdKeepsAllRanks) {
+  const std::vector<double> spectrum = {4.0, 2.0, 1.0, 0.5};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 0.0), 4u);
+}
+
+TEST(SelectRankByTail, TinyThresholdKeepsAllRanks) {
+  // eps small enough that even the smallest eigenvalue must be kept.
+  const std::vector<double> spectrum = {4.0, 2.0, 1.0, 0.5};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 0.4999999), 4u);
+}
+
+TEST(SelectRankByTail, HugeThresholdTruncatesToRankOneNeverZero) {
+  const std::vector<double> spectrum = {4.0, 2.0, 1.0};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 1e300), 1u);
+  // Even an all-zero spectrum keeps one direction.
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_EQ(dist::select_rank_by_tail(zeros, 1.0), 1u);
+}
+
+TEST(SelectRankByTail, ExactBoundaryIsInclusive) {
+  // Tail at rank r is compared with <=: a tail exactly equal to the
+  // threshold may be truncated.
+  const std::vector<double> spectrum = {8.0, 4.0, 2.0};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 2.0), 2u);   // drop {2}
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 6.0), 1u);   // drop {4, 2}
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 5.9999), 2u);
+}
+
+TEST(SelectRankByTail, SingleEntrySpectrum) {
+  const std::vector<double> spectrum = {3.0};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 0.0), 1u);
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 100.0), 1u);
+}
+
+TEST(SelectRankByTail, AllNegativeNoiseTreatedAsZeroTail) {
+  // A spectrum that is numerically zero below the leading value: the
+  // negative entries contribute nothing, so any threshold >= 0 drops them.
+  const std::vector<double> spectrum = {1.0, -1e-16, -1e-15, -1e-14};
+  EXPECT_EQ(dist::select_rank_by_tail(spectrum, 0.0), 1u);
+}
+
+TEST(RankSelection, FixedRankOverridesSpectrum) {
+  const std::vector<double> spectrum = {10.0, 1e-30, 1e-30, 1e-30};
+  // Threshold selection would keep ~1 rank here; fixed rank wins.
+  const RankSelection fixed = RankSelection::fixed_rank(3);
+  EXPECT_EQ(fixed.resolve(spectrum), 3u);
+}
+
+TEST(RankSelection, FixedRankClampedToModeExtent) {
+  const std::vector<double> spectrum = {2.0, 1.0};
+  EXPECT_EQ(RankSelection::fixed_rank(10).resolve(spectrum), 2u);
+}
+
+TEST(RankSelection, ThresholdSelectionMatchesFreeFunction) {
+  const std::vector<double> spectrum = {10.0, 5.0, 1.0, 0.1, 0.01};
+  for (double tail : {0.005, 0.01, 0.11, 1.11, 6.11}) {
+    EXPECT_EQ(RankSelection::threshold(tail).resolve(spectrum),
+              dist::select_rank_by_tail(spectrum, tail))
+        << "tail " << tail;
+  }
+}
+
+TEST(RankSelection, EndToEndEpsKeepingAllAndTruncatingToOne) {
+  // Drive the full gram -> eigenvectors path at the two extremes: a
+  // threshold of 0 keeps every direction; a huge threshold keeps exactly 1.
+  run_ranks(4, [](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    dist::DistTensor x(grid, Dims{6, 5, 4});
+    // Full-rank deterministic field: every Gram eigenvalue is strictly
+    // positive, so a zero threshold must keep all 6 directions.
+    x.fill_global([](std::span<const std::size_t> idx) {
+      std::uint64_t h = 99;
+      for (std::size_t i : idx) h = util::splitmix64(h ^ (i + 0x2F1));
+      return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+    });
+    const dist::GramColumns s = dist::gram(x, 0);
+    const dist::FactorResult keep_all = dist::eigenvectors(
+        s, *grid, 0, RankSelection::threshold(0.0));
+    EXPECT_EQ(keep_all.rank, 6u);
+    EXPECT_EQ(keep_all.u.cols(), 6u);
+    const dist::FactorResult rank_one = dist::eigenvectors(
+        s, *grid, 0, RankSelection::threshold(1e300));
+    EXPECT_EQ(rank_one.rank, 1u);
+    EXPECT_EQ(rank_one.u.cols(), 1u);
+    (void)comm;
+  });
+}
+
+}  // namespace
+}  // namespace ptucker
