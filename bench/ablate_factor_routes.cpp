@@ -1,0 +1,94 @@
+/// \file ablate_factor_routes.cpp
+/// \brief Gram + eigensolver (paper default) vs the general row-distributed
+/// TSQR + small SVD (Sec. IX, generalized to any grid) for the per-mode
+/// factor computation, on a grid that distributes every mode — the
+/// configuration the old Pn == 1 kernel could not run at all. Also prints
+/// the cost-model Auto pick per mode (tall-skinny unfoldings -> TSQR).
+
+#include "bench_common.hpp"
+#include "costmodel/tucker_model.hpp"
+#include "data/synthetic.hpp"
+#include "dist/gram.hpp"
+#include "dist/grid.hpp"
+#include "dist/tsqr.hpp"
+#include "util/cli.hpp"
+
+using namespace ptucker;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablate_factor_routes",
+                       "Gram+eig vs general TSQR per mode");
+  args.add_int("dim", 64, "extent of the two fat modes");
+  args.add_int("skinny", 8, "extent of the tall-skinny first mode");
+  args.add_int("ranks", 8, "number of (thread) ranks (must be 8: the "
+                           "ablation uses a fixed 2x2x2 grid)");
+  args.parse(argc, argv);
+
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim"));
+  const std::size_t skinny = static_cast<std::size_t>(args.get_int("skinny"));
+  const int p = static_cast<int>(args.get_int("ranks"));
+  PT_REQUIRE(p == 8, "ablation uses a fixed 2x2x2 grid (8 ranks)");
+  const tensor::Dims dims{skinny, dim, dim};
+  const std::vector<int> shape{2, 2, 2};
+
+  bench::header("Ablation: factor routes",
+                "Gram+eig vs TSQR+SVD per mode of " + bench::dims_name(dims) +
+                    " on a 2x2x2 grid");
+
+  util::Table table({"mode", "Jn", "gram(s)", "gram words/rank", "tsqr(s)",
+                     "tsqr words/rank", "auto picks"});
+  for (int mode = 0; mode < 3; ++mode) {
+    const std::size_t jn = dims[static_cast<std::size_t>(mode)];
+    const dist::RankSelection select =
+        dist::RankSelection::fixed_rank(std::min<std::size_t>(4, jn));
+    double t_gram = 0.0;
+    double t_tsqr = 0.0;
+    mps::Runtime rt(p);
+    std::vector<dist::DistTensor> xs(static_cast<std::size_t>(p));
+    rt.run([&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, shape);
+      xs[static_cast<std::size_t>(comm.rank())] = data::make_low_rank(
+          grid, dims, tensor::Dims{4, 8, 8}, 3, 0.01);
+    });
+
+    rt.reset_stats();
+    rt.run([&](mps::Comm& comm) {
+      auto& x = xs[static_cast<std::size_t>(comm.rank())];
+      const double t = bench::time_region(comm, [&] {
+        for (int rep = 0; rep < 3; ++rep) {
+          const dist::GramColumns s = dist::gram(x, mode);
+          (void)dist::eigenvectors(s, x.grid(), mode, select);
+        }
+      });
+      if (comm.rank() == 0) t_gram = t / 3.0;
+    });
+    const double w_gram = rt.max_stats().words_sent() / 3.0;
+
+    rt.reset_stats();
+    rt.run([&](mps::Comm& comm) {
+      auto& x = xs[static_cast<std::size_t>(comm.rank())];
+      const double t = bench::time_region(comm, [&] {
+        for (int rep = 0; rep < 3; ++rep) {
+          (void)dist::factor_via_tsqr(x, mode, select);
+        }
+      });
+      if (comm.rank() == 0) t_tsqr = t / 3.0;
+    });
+    const double w_tsqr = rt.max_stats().words_sent() / 3.0;
+
+    const bool auto_tsqr = costmodel::prefer_tsqr(dims, mode, shape);
+    table.add_row({std::to_string(mode), std::to_string(jn),
+                   util::Table::fmt(t_gram, 4), util::Table::fmt(w_gram, 0),
+                   util::Table::fmt(t_tsqr, 4), util::Table::fmt(w_tsqr, 0),
+                   auto_tsqr ? "tsqr" : "gram"});
+  }
+  std::printf("%s", table.str().c_str());
+  bench::paper_note(
+      "Sec. IX: the Gram-free TSQR route now runs on any grid. For "
+      "tall-skinny unfoldings it moves 1/Pn of the local block once instead "
+      "of ring-shifting all of it Pn-1 times, and it resolves spectral "
+      "tails the Gram route flattens; for fat unfoldings the O(log P) Jn^3 "
+      "tree factorizations favor the Gram route, which is what the Auto "
+      "policy encodes.");
+  return 0;
+}

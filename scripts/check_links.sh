@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fail on broken relative links in README.md and docs/*.md.
+#
+# Checks every inline markdown link [text](target) whose target is not an
+# absolute URL or a pure #anchor: the referenced file must exist relative to
+# the directory of the file containing the link.
+#
+# Usage: scripts/check_links.sh [repo_root]
+set -euo pipefail
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+status=0
+checked=0
+
+for doc in "$ROOT"/README.md "$ROOT"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline links only; reference-style links are not used in this repo.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}   # drop an in-file anchor
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $doc -> $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+echo "check_links: $checked relative link(s) checked"
+exit $status

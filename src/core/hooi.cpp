@@ -53,12 +53,17 @@ HooiResult hooi(const DistTensor& x, const SthosvdOptions& init_options,
       y = dist::ttm_chain(x, ptrs, ttm_order, options.ttm_algo,
                           options.timers);
 
-      const dist::GramColumns s =
-          dist::gram(y, n, options.gram_algo, options.timers);
-      dist::FactorResult factor = dist::eigenvectors(
-          s, y.grid(), n,
-          dist::RankSelection::fixed_rank(ranks[static_cast<std::size_t>(n)]),
-          options.eig_algo, options.timers);
+      const dist::RankSelection select =
+          dist::RankSelection::fixed_rank(ranks[static_cast<std::size_t>(n)]);
+      dist::FactorResult factor;
+      if (use_tsqr_route(options.factor_method, y, n)) {
+        factor = dist::factor_via_tsqr(y, n, select, options.timers);
+      } else {
+        const dist::GramColumns s =
+            dist::gram(y, n, options.gram_algo, options.timers);
+        factor = dist::eigenvectors(s, y.grid(), n, select, options.eig_algo,
+                                    options.timers);
+      }
       factors[static_cast<std::size_t>(n)] = std::move(factor.u);
     }
     // Core: the last working tensor already has every product but mode N

@@ -2,7 +2,21 @@
 
 #include <cmath>
 
+#include "costmodel/tucker_model.hpp"
+
 namespace ptucker::core {
+
+bool use_tsqr_route(FactorMethod method, const DistTensor& y, int mode) {
+  switch (method) {
+    case FactorMethod::GramEig:
+      return false;
+    case FactorMethod::TsqrSvd:
+      return true;
+    case FactorMethod::Auto:
+      return costmodel::prefer_tsqr(y.global_dims(), mode, y.grid().shape());
+  }
+  return false;
+}
 
 SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
   const int order = x.order();
@@ -35,13 +49,10 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
             : dist::RankSelection::fixed_rank(
                   options.fixed_ranks[static_cast<std::size_t>(n)]);
     dist::FactorResult factor;
-    if (options.factor_method == FactorMethod::TsqrSvd &&
-        dist::tsqr_applicable(y, n)) {
+    if (use_tsqr_route(options.factor_method, y, n)) {
       factor = dist::factor_via_tsqr(y, n, select, options.timers);
+      result.tsqr_modes.push_back(n);
     } else {
-      if (options.factor_method == FactorMethod::TsqrSvd) {
-        result.tsqr_fallback_modes.push_back(n);
-      }
       const dist::GramColumns s =
           dist::gram(y, n, options.gram_algo, options.timers);
       factor = dist::eigenvectors(s, y.grid(), n, select, options.eig_algo,

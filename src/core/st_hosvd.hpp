@@ -3,12 +3,14 @@
 /// \brief Sequentially-truncated HOSVD (paper Alg. 1) — the workhorse of the
 /// compression pipeline and the initializer for HOOI.
 ///
-/// For each mode (in a configurable order): form the Gram matrix of the
-/// current working tensor's unfolding, take its leading eigenvectors as the
-/// factor, pick the rank from the eps^2 ||X||^2 / N tail criterion (or use a
-/// fixed rank), and truncate the working tensor with a TTM by the transposed
-/// factor. After all modes, the working tensor is the core. Satisfies
-/// ‖X − X̃‖ <= eps ‖X‖ (paper eq. 3).
+/// For each mode (in a configurable order): compute the leading left
+/// singular vectors of the working tensor's unfolding as the factor —
+/// either via the Gram matrix + symmetric eigensolver, via the Gram-free
+/// row-distributed TSQR (Sec. IX, any grid), or letting the cost model pick
+/// per mode (FactorMethod::Auto) — pick the rank from the
+/// eps^2 ||X||^2 / N tail criterion (or use a fixed rank), and truncate the
+/// working tensor with a TTM by the transposed factor. After all modes, the
+/// working tensor is the core. Satisfies ‖X − X̃‖ <= eps ‖X‖ (paper eq. 3).
 
 #include "core/mode_order.hpp"
 #include "core/tucker_tensor.hpp"
@@ -22,9 +24,17 @@ namespace ptucker::core {
 /// How each factor matrix is computed.
 enum class FactorMethod {
   GramEig,  ///< Gram matrix + symmetric eigensolver (paper default)
-  TsqrSvd,  ///< Gram-free TSQR + small SVD (Sec. IX); needs Pn == 1 for the
-            ///< mode — falls back to GramEig otherwise (recorded in result)
+  TsqrSvd,  ///< Gram-free TSQR + small SVD (Sec. IX); row-distributed, so it
+            ///< runs on any grid (any Pn)
+  Auto,     ///< per-mode choice from costmodel/tucker_model: tall-skinny
+            ///< unfoldings go through TSQR, fat ones through the Gram route
 };
+
+/// Resolve the route for one mode of the working tensor: TsqrSvd always
+/// takes TSQR, GramEig never does, and Auto asks the cost model (the modes
+/// actually routed through TSQR are recorded in SthosvdResult::tsqr_modes).
+[[nodiscard]] bool use_tsqr_route(FactorMethod method, const DistTensor& y,
+                                  int mode);
 
 struct SthosvdOptions {
   /// Relative error target eps; used when fixed_ranks is empty.
@@ -51,8 +61,12 @@ struct SthosvdResult {
   /// mode this is the spectrum of X(n) X(n)^T itself (Fig. 6 data).
   std::vector<std::vector<double>> mode_eigenvalues;
   std::vector<int> mode_order_used;
-  /// Modes where FactorMethod::TsqrSvd was requested but Pn > 1 forced the
-  /// Gram route (empty when the method ran everywhere or wasn't requested).
+  /// Modes whose factor was computed by the TSQR route (all modes under
+  /// TsqrSvd; the cost model's picks under Auto; empty under GramEig).
+  std::vector<int> tsqr_modes;
+  /// Deprecated diagnostic, kept for one release: TSQR is now fully
+  /// row-distributed and never falls back to the Gram route, so this is
+  /// always empty.
   std::vector<int> tsqr_fallback_modes;
   double norm_x = 0.0;       ///< ‖X‖
   double norm_x_sq = 0.0;    ///< ‖X‖²

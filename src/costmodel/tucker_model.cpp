@@ -77,6 +77,42 @@ KernelCost evecs_cost(std::size_t in, int mode, const std::vector<int>& grid) {
   return cost;
 }
 
+KernelCost tsqr_cost(const Dims& dims, int mode,
+                     const std::vector<int>& grid) {
+  PT_REQUIRE(dims.size() == grid.size(), "tsqr_cost: order mismatch");
+  const double j = dprod(dims);
+  const double p = grid_size(grid);
+  const double pn = static_cast<double>(grid[static_cast<std::size_t>(mode)]);
+  const double jn = static_cast<double>(dims[static_cast<std::size_t>(mode)]);
+  const double jhat = j / jn;
+  const double logp = log2_ceil(static_cast<int>(p));
+  KernelCost cost;
+  // Row exchange within the processor column: each rank parts with
+  // (Pn-1)/Pn of its J/P local block (send + receive counted, matching the
+  // gram_cost ring convention).
+  cost.messages = 2.0 * (pn - 1.0);
+  cost.words = 2.0 * (pn - 1.0) / pn * j / p;
+  // Local Householder QR of the (Jhat_n/P) x Jn full-width slab.
+  cost.flops = 2.0 * (jhat / p) * jn * jn;
+  // Binomial combine tree + broadcast of the Jn x Jn R: each level stacks
+  // two R factors and re-factors (QR of 2Jn x Jn ~ (10/3) Jn^3).
+  cost.flops += logp * (10.0 / 3.0) * jn * jn * jn;
+  cost.messages += 2.0 * logp;
+  cost.words += 2.0 * logp * jn * jn;
+  // Redundant Jacobi SVD of R^T on every rank (same cubic as the Gram
+  // route's redundant eigensolve).
+  cost.flops += (10.0 / 3.0) * jn * jn * jn;
+  return cost;
+}
+
+bool prefer_tsqr(const Dims& dims, int mode, const std::vector<int>& grid,
+                 const Machine& machine) {
+  KernelCost gram_route = gram_cost(dims, mode, grid);
+  gram_route += evecs_cost(dims[static_cast<std::size_t>(mode)], mode, grid);
+  return machine.seconds(tsqr_cost(dims, mode, grid)) <
+         machine.seconds(gram_route);
+}
+
 KernelCost sthosvd_cost(const Dims& dims, const Dims& ranks,
                         const std::vector<int>& grid,
                         const std::vector<int>& order) {

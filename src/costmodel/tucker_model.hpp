@@ -51,6 +51,24 @@ struct Machine {
 [[nodiscard]] KernelCost evecs_cost(std::size_t in, int mode,
                                     const std::vector<int>& grid);
 
+/// Cost of the Gram-free TSQR factor route for mode n (paper Sec. IX,
+/// generalized to any grid): the processor-column row exchange, the local
+/// Householder QR of the (Jhat_n/P) x Jn slab, the binomial R-combine tree
+/// and broadcast over all P ranks, and the redundant small SVD of R^T.
+/// Covers the same work as gram_cost + evecs_cost do for the Gram route.
+[[nodiscard]] KernelCost tsqr_cost(const Dims& dims, int mode,
+                                   const std::vector<int>& grid);
+
+/// FactorMethod::Auto predicate: true when the modeled TSQR route beats
+/// Gram + eigensolver for mode n under the machine parameters. Tall-skinny
+/// unfoldings (Jn << Jhat_n) with Pn > 1 favor TSQR — it moves 1/Pn of the
+/// local block once instead of ring-shifting all of it Pn-1 times — while
+/// fat unfoldings pay O(log P) extra Jn^3 tree factorizations and stay on
+/// the Gram route.
+[[nodiscard]] bool prefer_tsqr(const Dims& dims, int mode,
+                               const std::vector<int>& grid,
+                               const Machine& machine = {});
+
 /// Total ST-HOSVD cost: sums the three kernels over modes in the given
 /// processing order with the working dims shrinking as the paper's Sec. VI-A
 /// analysis does.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "lapack/lapack.hpp"
 #include "mps/collectives.hpp"
@@ -10,30 +11,86 @@ namespace ptucker::dist {
 
 namespace {
 
-constexpr int kTagTsqr = 320;
+constexpr int kTagTsqrTree = 320;
+constexpr int kTagTsqrExchange = 321;
 
-/// R factor of one local block: the transposed unfolding (cols x Jn),
-/// zero-padded to at least Jn rows so qr_thin's m >= n holds even for
-/// blocks narrower than Jn (including empty ones).
-tensor::Matrix local_r_factor(const tensor::Tensor& y, int mode) {
+/// Rows [rows.lo, rows.hi) of this rank's block of A = Y(n)^T, packed as a
+/// column-major (rows.size() x local-Jn) buffer. Row c of the local A block
+/// is the unfolding column with local (left, right) indices (c % left,
+/// c / left).
+std::vector<double> pack_rows(const tensor::Tensor& y, int mode,
+                              util::Range rows) {
   const tensor::UnfoldShape s = tensor::unfold_shape(y.dims(), mode);
-  const std::size_t jn = s.mid;
-  const std::size_t cols = s.left * s.right;
-  tensor::Matrix r(jn, jn);
-  if (y.size() == 0) return r;
-
-  const std::size_t rows = std::max(cols, jn);
-  tensor::Matrix a(rows, jn);  // A = Y(n)^T, zero rows beyond `cols`
-  for (std::size_t ri = 0; ri < s.right; ++ri) {
-    for (std::size_t j = 0; j < jn; ++j) {
-      for (std::size_t l = 0; l < s.left; ++l) {
-        a(l + ri * s.left, j) = y[l + j * s.left + ri * s.left * s.mid];
+  const std::size_t m = rows.size();
+  std::vector<double> buf(m * s.mid);
+  if (m == 0 || s.mid == 0) return buf;
+  for (std::size_t j = 0; j < s.mid; ++j) {
+    std::size_t l = rows.lo % s.left;
+    std::size_t ri = rows.lo / s.left;
+    for (std::size_t k = 0; k < m; ++k) {
+      buf[k + j * m] = y[l + j * s.left + ri * s.left * s.mid];
+      if (++l == s.left) {
+        l = 0;
+        ++ri;
       }
     }
   }
-  tensor::Matrix q(rows, jn);
-  la::qr_thin(a.data(), rows, jn, rows, q.data(), rows, r.data(), jn);
-  return r;
+  return buf;
+}
+
+/// Full-width slab of A for this rank: its chunk of the processor column's
+/// shared unfolding columns, against all Jn mode-n columns. Ranks of the
+/// mode-n processor column own the same unfolding columns but different
+/// mode-n blocks, so each sends chunk q of its block to column rank q and
+/// assembles the received pieces at the senders' mode-n offsets. Zero-padded
+/// to at least Jn rows so the local QR's m >= n holds even for empty chunks.
+tensor::Matrix assemble_slab(const DistTensor& x, int mode) {
+  const tensor::Tensor& y = x.local();
+  const tensor::UnfoldShape s = tensor::unfold_shape(y.dims(), mode);
+  const std::size_t jn = x.global_dim(mode);
+  const std::size_t cols = s.left * s.right;  // local rows of A, pre-exchange
+
+  const mps::Comm& mcomm = x.grid().mode_comm(mode);
+  const int pn = mcomm.size();
+  const int me = mcomm.rank();  // == grid coordinate in mode n
+  const util::Range mine = util::uniform_block(cols, static_cast<std::size_t>(pn),
+                                               static_cast<std::size_t>(me));
+  const std::size_t rows_mine = mine.size();
+
+  tensor::Matrix slab(std::max(rows_mine, jn), jn);
+
+  // Sends are eager, so post every outgoing chunk before receiving. A send
+  // or receive is skipped exactly when both sides can see it is empty: the
+  // chunk partition (over the column-shared `cols`) and each rank's mode-n
+  // block sizes are known grid-wide.
+  for (int q = 0; q < pn; ++q) {
+    if (q == me) continue;
+    const util::Range chunk = util::uniform_block(
+        cols, static_cast<std::size_t>(pn), static_cast<std::size_t>(q));
+    if (chunk.size() == 0 || s.mid == 0) continue;
+    const std::vector<double> buf = pack_rows(y, mode, chunk);
+    mcomm.send(std::span<const double>(buf), q, kTagTsqrExchange);
+  }
+  if (rows_mine > 0 && s.mid > 0) {
+    const std::vector<double> own = pack_rows(y, mode, mine);
+    const std::size_t off = x.mode_range(mode).lo;
+    for (std::size_t j = 0; j < s.mid; ++j) {
+      std::memcpy(slab.col(off + j), own.data() + j * rows_mine,
+                  rows_mine * sizeof(double));
+    }
+  }
+  for (int q = 0; q < pn; ++q) {
+    if (q == me) continue;
+    const util::Range sender = x.mode_range_of(mode, q);
+    if (rows_mine == 0 || sender.size() == 0) continue;
+    std::vector<double> buf(rows_mine * sender.size());
+    mcomm.recv(std::span<double>(buf), q, kTagTsqrExchange);
+    for (std::size_t j = 0; j < sender.size(); ++j) {
+      std::memcpy(slab.col(sender.lo + j), buf.data() + j * rows_mine,
+                  rows_mine * sizeof(double));
+    }
+  }
+  return slab;
 }
 
 /// Stack two Jn x Jn R factors and re-factor: the TSQR combine step.
@@ -45,48 +102,41 @@ tensor::Matrix combine_r(const tensor::Matrix& top,
     std::memcpy(stacked.col(j), top.col(j), jn * sizeof(double));
     std::memcpy(stacked.col(j) + jn, bottom.col(j), jn * sizeof(double));
   }
-  tensor::Matrix q(2 * jn, jn);
   tensor::Matrix r(jn, jn);
-  la::qr_thin(stacked.data(), 2 * jn, jn, 2 * jn, q.data(), 2 * jn, r.data(),
-              jn);
+  la::qr_r_factor(stacked.data(), 2 * jn, jn, 2 * jn, r.data(), jn);
   return r;
 }
 
 }  // namespace
 
-bool tsqr_applicable(const DistTensor& x, int mode) {
-  PT_REQUIRE(mode >= 0 && mode < x.order(),
-             "tsqr_applicable: mode out of range");
-  return x.grid().extent(mode) == 1;
-}
-
 tensor::Matrix tsqr_r_factor(const DistTensor& x, int mode,
                              util::KernelTimers* timers) {
   PT_REQUIRE(mode >= 0 && mode < x.order(), "tsqr: mode out of range");
-  PT_REQUIRE(tsqr_applicable(x, mode),
-             "tsqr: mode " << mode << " is distributed (Pn = "
-                           << x.grid().extent(mode)
-                           << "); TSQR needs Pn == 1");
   util::ScopedKernelTimer scope(timers, "TSQR", mode);
 
-  tensor::Matrix r = local_r_factor(x.local(), mode);
+  const std::size_t jn = x.global_dim(mode);
+  const tensor::Matrix slab = assemble_slab(x, mode);
+  tensor::Matrix r(jn, jn);
+  if (jn > 0) {
+    la::qr_r_factor(slab.data(), slab.rows(), jn, slab.rows(), r.data(), jn);
+  }
 
-  // Binomial combine tree over the whole grid (Pn = 1, so the unfolding's
-  // columns are spread over all P ranks), root 0, then broadcast.
+  // After the column exchange every rank owns a disjoint set of A's rows, so
+  // the binomial combine tree runs over the whole grid, root 0, then the
+  // final R is broadcast.
   const mps::Comm& comm = x.grid().comm();
   const int p = comm.size();
   const int rank = comm.rank();
-  const std::size_t jn = r.rows();
   int mask = 1;
   while (mask < p) {
     if ((rank & mask) != 0) {
-      comm.send(std::span<const double>(r.span()), rank - mask, kTagTsqr);
+      comm.send(std::span<const double>(r.span()), rank - mask, kTagTsqrTree);
       break;
     }
     const int partner = rank | mask;
     if (partner < p) {
       tensor::Matrix other(jn, jn);
-      comm.recv(other.span(), partner, kTagTsqr);
+      comm.recv(other.span(), partner, kTagTsqrTree);
       r = combine_r(r, other);
     }
     mask <<= 1;

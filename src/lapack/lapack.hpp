@@ -49,6 +49,12 @@ struct SymEig {
 void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
              double* q, std::size_t ldq, double* r, std::size_t ldr);
 
+/// R factor only (same reduction as qr_thin, Q never formed — about half
+/// the flops). Used by the TSQR tree and the QR-route SVD, which both need
+/// just R^T R = A^T A.
+void qr_r_factor(const double* a, std::size_t m, std::size_t n,
+                 std::size_t lda, double* r, std::size_t ldr);
+
 /// Left singular subspace of a wide matrix.
 struct LeftSvd {
   std::size_t rows = 0;

@@ -8,19 +8,19 @@
 
 namespace ptucker::la {
 
-void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
-             double* q, std::size_t ldq, double* r, std::size_t ldr) {
-  PT_REQUIRE(m >= n && n >= 1, "qr_thin requires m >= n >= 1");
+namespace {
 
-  // Factor a working copy in place with Householder reflectors
-  // H_j = I - tau_j v_j v_j^T, v_j = [0...0, 1, w]^T.
-  std::vector<double> w(m * n);
+/// Householder reduction of a (m x n, via lda) into w: on return column j of
+/// w holds R's entries on and above the diagonal and the reflector v_j
+/// (implicit leading 1) below it, with tau[j] the reflector scale.
+void householder_reduce(const double* a, std::size_t m, std::size_t n,
+                        std::size_t lda, std::vector<double>& w,
+                        std::vector<double>& tau) {
+  w.resize(m * n);
   for (std::size_t j = 0; j < n; ++j) {
     blas::copy(m, a + j * lda, w.data() + j * m);
   }
-  std::vector<double> tau(n, 0.0);
-
-  blas::add_flops(2ull * m * n * n);  // classical QR flop estimate 2mn^2
+  tau.assign(n, 0.0);
 
   for (std::size_t j = 0; j < n; ++j) {
     double* col = w.data() + j * m;
@@ -45,13 +45,28 @@ void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
       for (std::size_t i = j + 1; i < m; ++i) cjj[i] -= s * col[i];
     }
   }
+}
 
-  // Extract R (upper triangle).
+void extract_r(const std::vector<double>& w, std::size_t m, std::size_t n,
+               double* r, std::size_t ldr) {
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = 0; i < n; ++i) {
       r[i + j * ldr] = (i <= j) ? w[i + j * m] : 0.0;
     }
   }
+}
+
+}  // namespace
+
+void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
+             double* q, std::size_t ldq, double* r, std::size_t ldr) {
+  PT_REQUIRE(m >= n && n >= 1, "qr_thin requires m >= n >= 1");
+
+  std::vector<double> w;
+  std::vector<double> tau;
+  blas::add_flops(2ull * m * n * n);  // classical QR flop estimate 2mn^2
+  householder_reduce(a, m, n, lda, w, tau);
+  extract_r(w, m, n, r, ldr);
 
   // Form thin Q by applying H_0 ... H_{n-1} to the first n identity columns
   // in reverse order.
@@ -71,6 +86,17 @@ void qr_thin(const double* a, std::size_t m, std::size_t n, std::size_t lda,
       for (std::size_t i = j + 1; i < m; ++i) qjj[i] -= s * v[i];
     }
   }
+}
+
+void qr_r_factor(const double* a, std::size_t m, std::size_t n,
+                 std::size_t lda, double* r, std::size_t ldr) {
+  PT_REQUIRE(m >= n && n >= 1, "qr_r_factor requires m >= n >= 1");
+  std::vector<double> w;
+  std::vector<double> tau;
+  // Householder reduction only: 2mn^2 - (2/3)n^3.
+  blas::add_flops(2ull * m * n * n - (2ull * n * n * n) / 3ull);
+  householder_reduce(a, m, n, lda, w, tau);
+  extract_r(w, m, n, r, ldr);
 }
 
 }  // namespace ptucker::la

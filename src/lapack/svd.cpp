@@ -41,9 +41,8 @@ LeftSvd left_svd_via_qr(const double* y, std::size_t rows, std::size_t cols,
       yt[j + i * cols] = y[i + j * ldy];
     }
   }
-  std::vector<double> q(cols * rows);
   std::vector<double> r(rows * rows);
-  qr_thin(yt.data(), cols, rows, cols, q.data(), cols, r.data(), rows);
+  qr_r_factor(yt.data(), cols, rows, cols, r.data(), rows);
 
   // R^T (rows x rows).
   std::vector<double> rt(rows * rows);

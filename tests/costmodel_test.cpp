@@ -204,6 +204,27 @@ TEST(TuckerModel, MachineConvertsCostsToSeconds) {
   EXPECT_DOUBLE_EQ(m.seconds(c), 10.0 + 200.0 + 3000.0);
 }
 
+TEST(TuckerModel, TsqrCostEncodesTheRouteTradeoff) {
+  // Same leading flop term as the Gram route (2 J Jn / P), but the exchange
+  // moves only (Pn-1)/Pn of the local block once instead of ring-shifting
+  // all of it Pn-1 times — so TSQR wins words on distributed modes...
+  const Dims tall{16, 512, 512};
+  const std::vector<int> grid{2, 2, 1};
+  const auto tsqr = costmodel::tsqr_cost(tall, 0, grid);
+  auto gram_route = costmodel::gram_cost(tall, 0, grid);
+  gram_route += costmodel::evecs_cost(tall[0], 0, grid);
+  EXPECT_LT(tsqr.words, gram_route.words);
+  // ...while paying O(log P) extra latency for the deeper combine tree.
+  EXPECT_GE(tsqr.messages, gram_route.messages);
+
+  // The Auto predicate flips with the unfolding's aspect ratio: tiny
+  // latency-bound problems stay on Gram, tall-skinny bandwidth-bound ones
+  // switch to TSQR, fat unfoldings pay the Jn^3 tree and stay on Gram.
+  EXPECT_FALSE(costmodel::prefer_tsqr(Dims{16, 8, 8}, 0, grid));
+  EXPECT_TRUE(costmodel::prefer_tsqr(tall, 0, grid));
+  EXPECT_FALSE(costmodel::prefer_tsqr(Dims{512, 16, 512}, 0, grid));
+}
+
 TEST(TuckerModel, SthosvdFlopsMatchesMeasuredSequentialRun) {
   // P = 1 run with fixed ranks: model flops == counted flops for the
   // Gram + TTM kernels (the eigensolver count uses the 10/3 n^3 estimate,

@@ -5,15 +5,31 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mps/runtime.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace ptucker::testing {
+
+/// Deterministic pseudo-random field of the global multi-index. The same
+/// seed yields the same global tensor through DistTensor::fill_global and
+/// Tensor::fill_from, so distributed results can be checked against a
+/// sequential oracle without keeping two fill bodies in sync by hand.
+inline std::function<double(std::span<const std::size_t>)> splitmix_field(
+    std::uint64_t seed) {
+  return [seed](std::span<const std::size_t> idx) {
+    std::uint64_t h = seed;
+    for (std::size_t i : idx) h = util::splitmix64(h ^ (i + 0xABC));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+  };
+}
 
 /// Run an SPMD body on \p p ranks with a short deadlock timeout.
 inline void run_ranks(int p, const std::function<void(mps::Comm&)>& body) {

@@ -20,33 +20,6 @@ using tensor::Matrix;
 using tensor::Tensor;
 using testing::run_ranks;
 
-void fill_test_tensor(DistTensor& x, std::uint64_t seed) {
-  x.fill_global([seed](std::span<const std::size_t> idx) {
-    std::uint64_t h = seed;
-    for (std::size_t i : idx) h = util::splitmix64(h ^ (i + 0xABC));
-    return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
-  });
-}
-
-TEST(Tsqr, ApplicabilityFollowsGridExtent) {
-  run_ranks(4, [](mps::Comm& comm) {
-    auto grid = dist::make_grid(comm, {1, 2, 2});
-    DistTensor x(grid, Dims{6, 8, 8});
-    EXPECT_TRUE(dist::tsqr_applicable(x, 0));
-    EXPECT_FALSE(dist::tsqr_applicable(x, 1));
-    EXPECT_FALSE(dist::tsqr_applicable(x, 2));
-  });
-}
-
-TEST(Tsqr, RejectsDistributedMode) {
-  run_ranks(2, [](mps::Comm& comm) {
-    auto grid = dist::make_grid(comm, {2, 1});
-    DistTensor x(grid, Dims{6, 8});
-    fill_test_tensor(x, 1);
-    EXPECT_THROW((void)dist::tsqr_r_factor(x, 0), InvalidArgument);
-  });
-}
-
 /// R^T R == Y(n) Y(n)^T — TSQR's R reproduces the Gram matrix.
 class TsqrGrids : public ::testing::TestWithParam<std::vector<int>> {};
 
@@ -65,17 +38,13 @@ TEST_P(TsqrGrids, RFactorReproducesGramMatrix) {
 
   // Sequential oracle.
   Tensor global(dims);
-  global.fill_from([](std::span<const std::size_t> idx) {
-    std::uint64_t h = 9;
-    for (std::size_t i : idx) h = util::splitmix64(h ^ (i + 0xABC));
-    return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
-  });
+  global.fill_from(testing::splitmix_field(9));
   const Matrix gram = tensor::local_gram(global, 0);
 
   run_ranks(p, [&](mps::Comm& comm) {
     auto grid = dist::make_grid(comm, shape);
     DistTensor x(grid, dims);
-    fill_test_tensor(x, 9);
+    x.fill_global(testing::splitmix_field(9));
     const Matrix r = dist::tsqr_r_factor(x, 0);
     const Matrix rtr = Matrix::multiply(r, true, r, false);
     EXPECT_LT(testing::max_diff(rtr, gram), 1e-9)
@@ -152,8 +121,8 @@ TEST(Tsqr, ResolvesDeepTailTheGramRouteLoses) {
 TEST(Tsqr, SthosvdWithTsqrMatchesGramResults) {
   const Dims dims{8, 9, 7};
   run_ranks(6, [&](mps::Comm& comm) {
-    // All-modes-applicable grid: 1 x 3 x 2 has Pn > 1 in modes 1, 2 — use
-    // 1 x 1 x 6 so modes 0 and 1 run TSQR and mode 2 falls back.
+    // Mode 2 is distributed (P2 = 6): the general TSQR runs it too — no
+    // mode falls back to the Gram route anymore.
     auto grid = dist::make_grid(comm, {1, 1, 6});
     const DistTensor x =
         data::make_low_rank(grid, dims, Dims{3, 3, 3}, 13, 0.1);
@@ -165,7 +134,8 @@ TEST(Tsqr, SthosvdWithTsqrMatchesGramResults) {
     const auto a = core::st_hosvd(x, gram_opts);
     const auto b = core::st_hosvd(x, tsqr_opts);
     EXPECT_EQ(a.tucker.core_dims(), b.tucker.core_dims());
-    EXPECT_EQ(b.tsqr_fallback_modes, (std::vector<int>{2}));
+    EXPECT_TRUE(b.tsqr_fallback_modes.empty());
+    EXPECT_EQ(b.tsqr_modes, (std::vector<int>{0, 1, 2}));
     const double err_a =
         core::normalized_error(x, core::reconstruct(a.tucker));
     const double err_b =
@@ -179,7 +149,7 @@ TEST(Tsqr, EmptyLocalBlockHandled) {
   run_ranks(5, [](mps::Comm& comm) {
     auto grid = dist::make_grid(comm, {1, 5});
     DistTensor x(grid, Dims{4, 3});
-    fill_test_tensor(x, 21);
+    x.fill_global(testing::splitmix_field(21));
     const Matrix r = dist::tsqr_r_factor(x, 0);
     const Matrix rtr = Matrix::multiply(r, true, r, false);
     // Compare with the distributed Gram.
