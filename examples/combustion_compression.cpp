@@ -15,11 +15,11 @@
 #include "core/metrics.hpp"
 #include "core/reconstruct.hpp"
 #include "core/st_hosvd.hpp"
-#include "core/tucker_io.hpp"
 #include "data/combustion.hpp"
 #include "data/normalize.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
+#include "pario/model_io.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   std::string out = args.get_string("out");
   if (out.empty()) {
     out = (std::filesystem::temp_directory_path() /
-           ("ptucker_" + std::string(data::preset_name(preset)) + ".ptkr"))
+           ("ptucker_" + std::string(data::preset_name(preset)) + ".ptz"))
               .string();
   }
 
@@ -73,12 +73,16 @@ int main(int argc, char** argv) {
     const double err = core::normalized_error(x, xt);
     const double max_err = core::max_abs_error(x, xt);
 
-    core::save_tucker(out, result.tucker);
+    // Archive block-parallel, with the per-species stats in the header so
+    // physical values are reconstructible from the file alone.
+    pario::write_model(out, result.tucker.core,
+                       std::span<const tensor::Matrix>(result.tucker.factors),
+                       &stats);
 
     if (comm.rank() == 0) {
       const std::size_t raw_bytes =
           tensor::prod(spec.dims) * sizeof(double);
-      const std::size_t model_bytes = core::serialized_bytes(result.tucker);
+      const std::size_t model_bytes = std::filesystem::file_size(out);
       std::printf("dataset %s (scale %.3f): dims =", data::preset_name(preset),
                   args.get_double("scale"));
       for (std::size_t d : spec.dims) std::printf(" %zu", d);

@@ -1,12 +1,14 @@
 /// \file tensor_compress_tool.cpp
 /// \brief File-to-file compression utility: reads a dense tensor file
-/// (tensor_io "PTT1" format), compresses it in parallel, and writes the
-/// compressed Tucker model ("PTKR"). The archive-side half of the paper's
-/// storage/transfer workflow.
+/// ("PTT1" or chunked "PTB1"), compresses it in parallel, and writes the
+/// compressed Tucker model (parallel "PTZ1" by default, legacy "PTKR" on
+/// request). The archive-side half of the paper's storage/transfer
+/// workflow. Input and output move through src/pario/: every rank reads
+/// and writes only its own block — nothing funnels through rank 0.
 ///
 ///   # generate a demo input, compress at 1e-3, inspect sizes
 ///   ./tensor_compress_tool --demo demo.ptt
-///   ./tensor_compress_tool --input demo.ptt --output demo.ptkr --eps 1e-3
+///   ./tensor_compress_tool --input demo.ptt --output demo.ptz --eps 1e-3
 
 #include <cstdio>
 #include <filesystem>
@@ -17,6 +19,7 @@
 #include "data/synthetic.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
+#include "pario/block_file.hpp"
 #include "tensor/tensor_io.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -26,8 +29,9 @@ using namespace ptucker;
 int main(int argc, char** argv) {
   util::ArgParser args("tensor_compress_tool",
                        "compress a tensor file into a Tucker model file");
-  args.add_string("input", "", "input tensor file (PTT1 format)");
-  args.add_string("output", "", "output model file (default: input + .ptkr)");
+  args.add_string("input", "", "input tensor file (PTT1 or PTB1 format)");
+  args.add_string("output", "", "output model file (default: input + .ptz)");
+  args.add_string("format", "ptz1", "model container: ptz1 or ptkr");
   args.add_string("demo", "", "write a demo low-rank tensor here and exit");
   args.add_double("eps", 1e-3, "max normalized RMS error");
   args.add_int("ranks", 8, "number of (thread) ranks");
@@ -45,43 +49,38 @@ int main(int argc, char** argv) {
 
   const std::string input = args.get_string("input");
   PT_REQUIRE(!input.empty(), "--input is required (or use --demo)");
+  const std::string format_name = args.get_string("format");
+  PT_REQUIRE(format_name == "ptz1" || format_name == "ptkr",
+             "--format must be ptz1 or ptkr");
+  const core::ModelFormat format = format_name == "ptkr"
+                                       ? core::ModelFormat::Ptkr
+                                       : core::ModelFormat::Ptz1;
   std::string output = args.get_string("output");
-  if (output.empty()) output = input + ".ptkr";
+  if (output.empty()) {
+    output = input + (format == core::ModelFormat::Ptkr ? ".ptkr" : ".ptz");
+  }
   const int p = static_cast<int>(args.get_int("ranks"));
   const double eps = args.get_double("eps");
 
   mps::run(p, [&](mps::Comm& comm) {
-    // Root reads the file; the tensor is scattered onto a grid picked for
-    // its dims.
-    tensor::Tensor global;
-    tensor::Dims dims;
-    if (comm.rank() == 0) {
-      global = tensor::load_tensor(input);
-      dims = global.dims();
-    }
-    std::uint64_t order = dims.size();
-    mps::broadcast(comm, std::span<std::uint64_t>(&order, 1), 0);
-    std::vector<std::uint64_t> dims64(order);
-    if (comm.rank() == 0) {
-      for (std::size_t n = 0; n < order; ++n) dims64[n] = dims[n];
-    }
-    mps::broadcast(comm, std::span<std::uint64_t>(dims64), 0);
-    dims.assign(dims64.begin(), dims64.end());
-
+    // Every rank reads the header itself and preads exactly its own block
+    // of the input — no root read, no scatter.
+    const tensor::Dims dims = pario::BlockFile::open(input).dims();
     auto grid = dist::make_grid(comm, dist::default_grid_shape(p, dims));
-    const dist::DistTensor x = dist::DistTensor::scatter(grid, global, 0);
+    const dist::DistTensor x = pario::read_dist_tensor(grid, input);
 
     util::Timer timer;
     core::SthosvdOptions opts;
     opts.epsilon = eps;
     const auto result = core::st_hosvd(x, opts);
     const double seconds = timer.seconds();
-    core::save_tucker(output, result.tucker);
+    core::save_tucker(output, result.tucker, format);
 
     if (comm.rank() == 0) {
       const auto in_bytes = std::filesystem::file_size(input);
       const auto out_bytes = std::filesystem::file_size(output);
-      std::printf("compressed %s -> %s\n", input.c_str(), output.c_str());
+      std::printf("compressed %s -> %s (%s)\n", input.c_str(), output.c_str(),
+                  format_name.c_str());
       std::printf("  dims        :");
       for (std::size_t d : dims) std::printf(" %zu", d);
       std::printf("\n  reduced dims:");

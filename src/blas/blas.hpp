@@ -54,6 +54,16 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
 void set_gemm_threads(int threads);
 [[nodiscard]] int gemm_threads();
 
+/// Auto-tune hook called by grid construction: defaults the gemm threads to
+/// max(1, hardware_threads / active_ranks) — the spare cores when running
+/// fewer ranks than the machine has — unless the user already called
+/// set_gemm_threads, which always wins.
+void autotune_gemm_threads(int active_ranks);
+
+/// Return to the startup state: 1 thread, auto-tune re-armed (clears the
+/// explicit override). For tests and benches that toggle the setting.
+void reset_gemm_threads();
+
 /// C(n x n) = alpha * op(A) * op(A)^T + beta * C with *both* triangles
 /// stored — the paper's Gram computation "ignores the fact that S is
 /// symmetric, storing both upper and lower triangles explicitly" (Sec. V-C).

@@ -13,6 +13,7 @@ namespace ptucker::blas {
 namespace {
 std::atomic<std::uint64_t> g_flops{0};
 std::atomic<int> g_gemm_threads{1};
+std::atomic<bool> g_gemm_threads_explicit{false};
 
 // Blocking parameters (doubles): KC*MR and KC*NR panels stay in L1/L2.
 constexpr std::size_t MR = 4;
@@ -100,10 +101,24 @@ void add_flops(std::uint64_t flops) {
 
 void set_gemm_threads(int threads) {
   PT_REQUIRE(threads >= 1, "set_gemm_threads: need >= 1");
+  g_gemm_threads_explicit.store(true, std::memory_order_relaxed);
   g_gemm_threads.store(threads, std::memory_order_relaxed);
 }
 
 int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
+
+void autotune_gemm_threads(int active_ranks) {
+  PT_REQUIRE(active_ranks >= 1, "autotune_gemm_threads: need >= 1 ranks");
+  if (g_gemm_threads_explicit.load(std::memory_order_relaxed)) return;
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  g_gemm_threads.store(std::max(1, hw / active_ranks),
+                       std::memory_order_relaxed);
+}
+
+void reset_gemm_threads() {
+  g_gemm_threads_explicit.store(false, std::memory_order_relaxed);
+  g_gemm_threads.store(1, std::memory_order_relaxed);
+}
 
 namespace {
 /// Single-threaded blocked kernel (flops are counted by the dispatcher).

@@ -64,10 +64,6 @@ struct SthosvdResult {
   /// Modes whose factor was computed by the TSQR route (all modes under
   /// TsqrSvd; the cost model's picks under Auto; empty under GramEig).
   std::vector<int> tsqr_modes;
-  /// Deprecated diagnostic, kept for one release: TSQR is now fully
-  /// row-distributed and never falls back to the Gram route, so this is
-  /// always empty.
-  std::vector<int> tsqr_fallback_modes;
   double norm_x = 0.0;       ///< ‖X‖
   double norm_x_sq = 0.0;    ///< ‖X‖²
   /// Upper bound on ‖X − X̃‖ / ‖X‖ from the truncated eigenvalue tails

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "mps/collectives.hpp"
+#include "pario/model_io.hpp"
 #include "tensor/tensor_io.hpp"
 
 namespace ptucker::core {
@@ -21,9 +22,8 @@ std::uint64_t read_u64(std::istream& is) {
   PT_REQUIRE(is.good(), "tucker_io: truncated stream");
   return v;
 }
-}  // namespace
 
-void save_tucker(const std::string& path, const TuckerTensor& model) {
+void save_tucker_ptkr(const std::string& path, const TuckerTensor& model) {
   const Tensor core = model.core.gather(0);
   if (model.core.grid().comm().rank() != 0) return;
   std::ofstream os(path, std::ios::binary);
@@ -36,8 +36,8 @@ void save_tucker(const std::string& path, const TuckerTensor& model) {
   PT_REQUIRE(os.good(), "tucker_io: write failed");
 }
 
-TuckerTensor load_tucker(const std::string& path,
-                         std::shared_ptr<mps::CartGrid> grid) {
+TuckerTensor load_tucker_ptkr(const std::string& path,
+                              std::shared_ptr<mps::CartGrid> grid) {
   const mps::Comm& comm = grid->comm();
   Tensor core;
   std::vector<Matrix> factors;
@@ -62,24 +62,75 @@ TuckerTensor load_tucker(const std::string& path,
 
   TuckerTensor model;
   model.core = dist::DistTensor::scatter(grid, core, 0);
-  model.factors.resize(order);
-  for (std::uint64_t n = 0; n < order; ++n) {
-    std::uint64_t shape[2] = {0, 0};
-    if (comm.rank() == 0) {
-      shape[0] = factors[n].rows();
-      shape[1] = factors[n].cols();
+
+  // Factor broadcast: one binomial broadcast of the packed shapes, one of
+  // the concatenated payloads — 2 broadcasts total instead of 2 per mode.
+  std::vector<std::uint64_t> shapes(2 * order, 0);
+  if (comm.rank() == 0) {
+    for (std::uint64_t n = 0; n < order; ++n) {
+      shapes[2 * n] = factors[n].rows();
+      shapes[2 * n + 1] = factors[n].cols();
     }
-    mps::broadcast(comm, std::span<std::uint64_t>(shape, 2), 0);
-    Matrix u(shape[0], shape[1]);
-    if (comm.rank() == 0) u = std::move(factors[n]);
-    mps::broadcast(comm, u.span(), 0);
+  }
+  mps::broadcast(comm, std::span<std::uint64_t>(shapes), 0);
+  std::size_t total = 0;
+  for (std::uint64_t n = 0; n < order; ++n) {
+    total += static_cast<std::size_t>(shapes[2 * n] * shapes[2 * n + 1]);
+  }
+  std::vector<double> packed(total);
+  if (comm.rank() == 0) {
+    std::size_t pos = 0;
+    for (std::uint64_t n = 0; n < order; ++n) {
+      std::memcpy(packed.data() + pos, factors[n].data(),
+                  factors[n].size() * sizeof(double));
+      pos += factors[n].size();
+    }
+  }
+  mps::broadcast(comm, std::span<double>(packed), 0);
+  model.factors.resize(order);
+  std::size_t pos = 0;
+  for (std::uint64_t n = 0; n < order; ++n) {
+    Matrix u(shapes[2 * n], shapes[2 * n + 1]);
+    std::memcpy(u.data(), packed.data() + pos, u.size() * sizeof(double));
+    pos += u.size();
     model.factors[n] = std::move(u);
   }
   return model;
 }
+}  // namespace
 
-std::size_t serialized_bytes(const TuckerTensor& model) {
-  // Header + core header/payload + factor headers/payloads.
+void save_tucker(const std::string& path, const TuckerTensor& model,
+                 ModelFormat format) {
+  if (format == ModelFormat::Ptkr) {
+    save_tucker_ptkr(path, model);
+    return;
+  }
+  pario::write_model(path, model.core,
+                     std::span<const Matrix>(model.factors));
+}
+
+TuckerTensor load_tucker(const std::string& path,
+                         std::shared_ptr<mps::CartGrid> grid) {
+  PT_REQUIRE(grid != nullptr, "load_tucker: null grid");
+  // Sniffing is a local pread, so every rank dispatches without any
+  // communication; both loaders validate the rest of the file themselves.
+  if (pario::is_ptz1(path)) {
+    pario::ModelData data = pario::read_model(path, std::move(grid));
+    TuckerTensor model;
+    model.core = std::move(data.core);
+    model.factors = std::move(data.factors);
+    return model;
+  }
+  return load_tucker_ptkr(path, std::move(grid));
+}
+
+std::size_t serialized_bytes(const TuckerTensor& model, ModelFormat format) {
+  if (format == ModelFormat::Ptz1) {
+    return pario::ptz1_file_bytes(model.core.global_dims(),
+                                  model.core.grid().shape(),
+                                  std::span<const Matrix>(model.factors));
+  }
+  // PTKR: header + core header/payload + factor headers/payloads.
   std::size_t bytes = 4 + 2 * sizeof(std::uint64_t);
   bytes += 4 + sizeof(std::uint64_t) * (1 + model.core.global_dims().size()) +
            sizeof(double) * tensor::prod(model.core.global_dims());

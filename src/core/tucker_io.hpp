@@ -2,12 +2,15 @@
 /// \file tucker_io.hpp
 /// \brief Persistence of compressed Tucker models.
 ///
-/// The compressed artifact is what a simulation pipeline would actually
-/// archive or transfer: the core tensor plus factor matrices (plus the
-/// normalization statistics if the caller saves them separately). The file
-/// is written by rank 0 after gathering the distributed core.
+/// Two container formats (byte layouts in docs/FORMATS.md):
+///  - PTZ1 (default): the parallel container from src/pario/ — the core is
+///    written and read block-parallel (every rank touches only its own
+///    bytes), factors ride in the header. Nothing funnels through rank 0.
+///  - PTKR (legacy): rank 0 gathers the core and writes everything; load
+///    scatters the core and broadcasts the factors. Kept for old archives
+///    and as the ablation baseline.
 ///
-/// Format: "PTKR" | u64 version | u64 order | tensor core | matrix U(1..N).
+/// load_tucker sniffs the magic, so both formats load transparently.
 
 #include <string>
 
@@ -15,15 +18,24 @@
 
 namespace ptucker::core {
 
-/// Collective: gathers the core to rank 0 and writes the model file there.
-void save_tucker(const std::string& path, const TuckerTensor& model);
+/// On-disk container for save_tucker / serialized_bytes.
+enum class ModelFormat {
+  Ptz1,  ///< parallel chunked container (default)
+  Ptkr,  ///< legacy rank-0 stream format
+};
 
-/// Collective: rank 0 reads the file; core is scattered onto \p grid and
-/// factors broadcast to all ranks.
+/// Collective: write the model file. PTZ1 writes the core block-parallel;
+/// PTKR gathers it to rank 0 first.
+void save_tucker(const std::string& path, const TuckerTensor& model,
+                 ModelFormat format = ModelFormat::Ptz1);
+
+/// Collective: load a model file of either format onto \p grid.
 [[nodiscard]] TuckerTensor load_tucker(const std::string& path,
                                        std::shared_ptr<mps::CartGrid> grid);
 
-/// Size in bytes of the serialized model (for compression reporting).
-[[nodiscard]] std::size_t serialized_bytes(const TuckerTensor& model);
+/// Size in bytes of the serialized model (for compression reporting). The
+/// PTZ1 size depends on the grid of \p model's core (offset-table length).
+[[nodiscard]] std::size_t serialized_bytes(
+    const TuckerTensor& model, ModelFormat format = ModelFormat::Ptz1);
 
 }  // namespace ptucker::core

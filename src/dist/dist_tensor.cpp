@@ -71,7 +71,8 @@ std::vector<util::Range> DistTensor::block_ranges_of(int rank) const {
 }
 
 DistTensor DistTensor::scatter(const std::shared_ptr<mps::CartGrid>& grid,
-                               const tensor::Tensor& global, int root) {
+                               const tensor::Tensor& global, int root,
+                               mps::RootedAlgo algo) {
   PT_REQUIRE(grid != nullptr, "scatter: null grid");
   const mps::Comm& comm = grid->comm();
 
@@ -99,7 +100,8 @@ DistTensor DistTensor::scatter(const std::shared_ptr<mps::CartGrid>& grid,
                                                  sub.data() + sub.size());
     }
   }
-  const std::vector<double> mine = mps::scatter_varied(comm, blocks, root);
+  const std::vector<double> mine =
+      mps::scatter_varied(comm, blocks, root, algo);
   PT_CHECK(mine.size() == result.local_.size(),
            "scatter: block size mismatch");
   std::memcpy(result.local_.data(), mine.data(),
@@ -107,11 +109,11 @@ DistTensor DistTensor::scatter(const std::shared_ptr<mps::CartGrid>& grid,
   return result;
 }
 
-tensor::Tensor DistTensor::gather(int root) const {
+tensor::Tensor DistTensor::gather(int root, mps::RootedAlgo algo) const {
   PT_REQUIRE(grid_ != nullptr, "gather: invalid DistTensor");
   const mps::Comm& comm = grid_->comm();
   const auto blocks = mps::gather_varied(
-      comm, std::span<const double>(local_.span()), root);
+      comm, std::span<const double>(local_.span()), root, algo);
   if (comm.rank() != root) return {};
 
   tensor::Tensor global(global_dims_);

@@ -57,19 +57,29 @@ GramColumns gram(const DistTensor& x, int mode, GramAlgo algo,
   if (pn > 1) {
     const mps::Comm& ring = grid.mode_comm(mode);
     if (algo == GramAlgo::OverlappedRing) {
-      // Post every send up front (sends are eager), then fold incoming
-      // blocks while later transfers are still in flight.
-      for (int l = 0; l < pn; ++l) {
-        if (l == c) continue;
-        ring.send(std::span<const double>(x.local().span()), l, kTagGramRing);
+      // Windowed overlap: keep at most kSendWindow eager sends ahead of the
+      // receives instead of posting all Pn-1 up front, bounding the
+      // in-flight copies of the local block to O(window) per mailbox while
+      // still overlapping the cross-Gram of block k with the transfer of
+      // blocks k+1..k+window. Peer k of my schedule is (c + k) mod Pn; that
+      // peer receives from me at step k of its own receive schedule, so all
+      // ranks advance in lockstep and no receive can starve.
+      constexpr int kSendWindow = 2;
+      const auto send_to_peer = [&](int k) {
+        ring.send(std::span<const double>(x.local().span()), (c + k) % pn,
+                  kTagGramRing);
+      };
+      for (int k = 1; k <= std::min(pn - 1, kSendWindow); ++k) {
+        send_to_peer(k);
       }
-      for (int l = 0; l < pn; ++l) {
-        if (l == c) continue;
-        tensor::Tensor incoming(block_dims_at(x, mode, l));
-        ring.recv(incoming.span(), l, kTagGramRing);
+      for (int k = 1; k < pn; ++k) {
+        const int src = (c - k + pn) % pn;
+        tensor::Tensor incoming(block_dims_at(x, mode, src));
+        ring.recv(incoming.span(), src, kTagGramRing);
+        if (k + kSendWindow < pn) send_to_peer(k + kSendWindow);
         const tensor::Matrix cross =
             tensor::local_cross_gram(incoming, x.local(), mode);
-        fill_rows(cols, x.mode_range_of(mode, l).lo, cross);
+        fill_rows(cols, x.mode_range_of(mode, src).lo, cross);
       }
     } else {
       // Stepwise ring (Alg. 4): after step s the traveling block is the one

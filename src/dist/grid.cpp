@@ -1,5 +1,7 @@
 #include "dist/grid.hpp"
 
+#include "blas/blas.hpp"
+
 namespace ptucker::dist {
 
 std::shared_ptr<mps::CartGrid> make_grid(mps::Comm& comm,
@@ -13,6 +15,10 @@ std::shared_ptr<mps::CartGrid> make_grid(mps::Comm& comm,
              "make_grid: grid shape product " << product
                                               << " != communicator size "
                                               << comm.size());
+  // Hand idle cores to the local BLAS: with fewer ranks than hardware
+  // threads, large gemms split across the spare ones (ROADMAP item; an
+  // explicit set_gemm_threads always wins).
+  blas::autotune_gemm_threads(comm.size());
   return std::make_shared<mps::CartGrid>(comm, std::move(shape));
 }
 

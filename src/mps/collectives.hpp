@@ -257,51 +257,178 @@ template <class T, class Op = Sum<T>>
 
 /// --- gather / scatter to or from a root ----------------------------------------
 
-/// Gather variable-size contributions to the root (direct sends). Returns
-/// per-rank payloads at the root; empty vector elsewhere.
+/// Schedule for the rooted varied-size collectives. Tree (the default)
+/// forwards packed subtree payloads up/down a binomial tree, dropping the
+/// root's latency term from (P-1) alpha to ceil(log2 P) alpha at the price
+/// of relaying each word up to log2 P times; Flat is the direct-send
+/// root loop, kept for the IO-path ablation bench and as a test oracle.
+enum class RootedAlgo { Tree, Flat };
+
+namespace detail {
+/// Packed subtree payloads travel as records: u64 vrank | u64 bytes | bytes.
+inline void pack_record(std::vector<std::byte>& buf, std::uint64_t vrank,
+                        std::span<const std::byte> payload) {
+  const std::uint64_t header[2] = {vrank, payload.size()};
+  const auto* h = reinterpret_cast<const std::byte*>(header);
+  buf.insert(buf.end(), h, h + sizeof(header));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+}
+
+template <class OnRecord>
+inline void unpack_records(std::span<const std::byte> buf, int p,
+                           OnRecord on_record) {
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    std::uint64_t header[2];
+    PT_CHECK(pos + sizeof(header) <= buf.size(), "collectives: short record");
+    std::memcpy(header, buf.data() + pos, sizeof(header));
+    pos += sizeof(header);
+    PT_CHECK(header[0] < static_cast<std::uint64_t>(p) &&
+                 pos + header[1] <= buf.size(),
+             "collectives: corrupt record");
+    on_record(static_cast<int>(header[0]),
+              buf.subspan(pos, static_cast<std::size_t>(header[1])));
+    pos += static_cast<std::size_t>(header[1]);
+  }
+}
+}  // namespace detail
+
+/// Gather variable-size contributions to the root. Returns per-rank
+/// payloads at the root; empty vector elsewhere.
 template <class T>
-[[nodiscard]] std::vector<std::vector<T>> gather_varied(const Comm& comm,
-                                                        std::span<const T> mine,
-                                                        int root) {
+[[nodiscard]] std::vector<std::vector<T>> gather_varied(
+    const Comm& comm, std::span<const T> mine, int root,
+    RootedAlgo algo = RootedAlgo::Tree) {
   const int p = comm.size();
   OpScope scope(OpKind::Gather);
-  if (comm.rank() != root) {
-    comm.send(mine, root, detail::kTagGather);
-    return {};
-  }
-  std::vector<std::vector<T>> result(static_cast<std::size_t>(p));
-  for (int src = 0; src < p; ++src) {
-    if (src == root) {
-      result[static_cast<std::size_t>(src)].assign(mine.begin(), mine.end());
-      continue;
+  if (algo == RootedAlgo::Flat) {
+    if (comm.rank() != root) {
+      comm.send(mine, root, detail::kTagGather);
+      return {};
     }
-    auto bytes = comm.recv_bytes_any_size(src, detail::kTagGather);
+    std::vector<std::vector<T>> result(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      if (src == root) {
+        result[static_cast<std::size_t>(src)].assign(mine.begin(), mine.end());
+        continue;
+      }
+      auto bytes = comm.recv_bytes_any_size(src, detail::kTagGather);
+      PT_CHECK(bytes.size() % sizeof(T) == 0, "gather_varied: payload size");
+      std::vector<T>& slot = result[static_cast<std::size_t>(src)];
+      slot.resize(bytes.size() / sizeof(T));
+      std::memcpy(slot.data(), bytes.data(), bytes.size());
+    }
+    return result;
+  }
+
+  // Binomial tree: after the round with bit `mask`, vrank vr holds the
+  // payloads of virtual ranks [vr, vr + mask) (clipped to p).
+  const int vr = (comm.rank() - root + p) % p;
+  auto actual = [&](int vrank) { return (vrank + root) % p; };
+  std::vector<std::vector<std::byte>> sub(static_cast<std::size_t>(p));
+  const auto mine_bytes = std::as_bytes(mine);
+  sub[static_cast<std::size_t>(vr)].assign(mine_bytes.begin(),
+                                           mine_bytes.end());
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      std::vector<std::byte> packed;
+      for (int v = vr; v < std::min(vr + mask, p); ++v) {
+        packed.reserve(packed.size() + 16 +
+                       sub[static_cast<std::size_t>(v)].size());
+        detail::pack_record(packed, static_cast<std::uint64_t>(v),
+                            sub[static_cast<std::size_t>(v)]);
+      }
+      comm.send_bytes(packed, actual(vr - mask), detail::kTagGather);
+      return {};
+    }
+    const int partner = vr | mask;
+    if (partner < p) {
+      const auto packed =
+          comm.recv_bytes_any_size(actual(partner), detail::kTagGather);
+      detail::unpack_records(
+          std::span<const std::byte>(packed), p,
+          [&](int v, std::span<const std::byte> payload) {
+            sub[static_cast<std::size_t>(v)].assign(payload.begin(),
+                                                    payload.end());
+          });
+    }
+    mask <<= 1;
+  }
+  PT_CHECK(vr == 0, "gather_varied: non-root completed tree");
+  std::vector<std::vector<T>> result(static_cast<std::size_t>(p));
+  for (int v = 0; v < p; ++v) {
+    const std::vector<std::byte>& bytes = sub[static_cast<std::size_t>(v)];
     PT_CHECK(bytes.size() % sizeof(T) == 0, "gather_varied: payload size");
-    std::vector<T>& slot = result[static_cast<std::size_t>(src)];
+    std::vector<T>& slot = result[static_cast<std::size_t>(actual(v))];
     slot.resize(bytes.size() / sizeof(T));
     std::memcpy(slot.data(), bytes.data(), bytes.size());
   }
   return result;
 }
 
-/// Scatter variable-size blocks from the root (direct sends). \p blocks is
-/// only read at the root and must have one entry per rank.
+/// Scatter variable-size blocks from the root. \p blocks is only read at
+/// the root and must have one entry per rank.
 template <class T>
 [[nodiscard]] std::vector<T> scatter_varied(
-    const Comm& comm, const std::vector<std::vector<T>>& blocks, int root) {
+    const Comm& comm, const std::vector<std::vector<T>>& blocks, int root,
+    RootedAlgo algo = RootedAlgo::Tree) {
   const int p = comm.size();
   OpScope scope(OpKind::Scatter);
-  if (comm.rank() == root) {
+  if (algo == RootedAlgo::Flat) {
+    if (comm.rank() == root) {
+      PT_CHECK(static_cast<int>(blocks.size()) == p,
+               "scatter_varied: need one block per rank");
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == root) continue;
+        comm.send(std::span<const T>(blocks[static_cast<std::size_t>(dst)]),
+                  dst, detail::kTagScatter);
+      }
+      return blocks[static_cast<std::size_t>(root)];
+    }
+    auto bytes = comm.recv_bytes_any_size(root, detail::kTagScatter);
+    PT_CHECK(bytes.size() % sizeof(T) == 0, "scatter_varied: payload size");
+    std::vector<T> mine(bytes.size() / sizeof(T));
+    std::memcpy(mine.data(), bytes.data(), bytes.size());
+    return mine;
+  }
+
+  // Binomial tree (mirror of the gather): each node receives the packed
+  // payloads of its whole subtree, then halves it downward.
+  const int vr = (comm.rank() - root + p) % p;
+  auto actual = [&](int vrank) { return (vrank + root) % p; };
+  std::vector<std::vector<std::byte>> sub(static_cast<std::size_t>(p));
+  int mask = 1;
+  if (vr == 0) {
     PT_CHECK(static_cast<int>(blocks.size()) == p,
              "scatter_varied: need one block per rank");
-    for (int dst = 0; dst < p; ++dst) {
-      if (dst == root) continue;
-      comm.send(std::span<const T>(blocks[static_cast<std::size_t>(dst)]), dst,
-                detail::kTagScatter);
+    for (int v = 0; v < p; ++v) {
+      const auto bytes = std::as_bytes(
+          std::span<const T>(blocks[static_cast<std::size_t>(actual(v))]));
+      sub[static_cast<std::size_t>(v)].assign(bytes.begin(), bytes.end());
     }
-    return blocks[static_cast<std::size_t>(root)];
+    while (mask < p) mask <<= 1;
+  } else {
+    while ((vr & mask) == 0) mask <<= 1;  // mask = lowest set bit of vr
+    const auto packed =
+        comm.recv_bytes_any_size(actual(vr - mask), detail::kTagScatter);
+    detail::unpack_records(std::span<const std::byte>(packed), p,
+                           [&](int v, std::span<const std::byte> payload) {
+                             sub[static_cast<std::size_t>(v)].assign(
+                                 payload.begin(), payload.end());
+                           });
   }
-  auto bytes = comm.recv_bytes_any_size(root, detail::kTagScatter);
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (vr + m >= p) continue;
+    std::vector<std::byte> packed;
+    for (int v = vr + m; v < std::min(vr + 2 * m, p); ++v) {
+      detail::pack_record(packed, static_cast<std::uint64_t>(v),
+                          sub[static_cast<std::size_t>(v)]);
+      sub[static_cast<std::size_t>(v)].clear();
+    }
+    comm.send_bytes(packed, actual(vr + m), detail::kTagScatter);
+  }
+  const std::vector<std::byte>& bytes = sub[static_cast<std::size_t>(vr)];
   PT_CHECK(bytes.size() % sizeof(T) == 0, "scatter_varied: payload size");
   std::vector<T> mine(bytes.size() / sizeof(T));
   std::memcpy(mine.data(), bytes.data(), bytes.size());

@@ -1,0 +1,167 @@
+#include "pario/model_io.hpp"
+
+#include <cstring>
+
+#include "pario/layout.hpp"
+#include "pario/posix_file.hpp"
+
+namespace ptucker::pario {
+
+namespace {
+constexpr char kMagicModel[4] = {'P', 'T', 'Z', '1'};
+constexpr std::uint64_t kVersion = 1;
+
+std::uint64_t stats_bytes(std::size_t count) {
+  return count == 0 ? 0
+                    : sizeof(std::uint64_t) * 2 + sizeof(double) * 2 * count;
+}
+
+std::uint64_t header_bytes(std::size_t order, std::uint64_t ranks,
+                           std::size_t stats_count) {
+  return 4 + sizeof(std::uint64_t) * (2 + 4 * order + 1 + ranks) +
+         stats_bytes(stats_count);
+}
+
+std::uint64_t factor_bytes(std::span<const tensor::Matrix> factors) {
+  std::uint64_t bytes = 0;
+  for (const tensor::Matrix& u : factors) bytes += sizeof(double) * u.size();
+  return bytes;
+}
+}  // namespace
+
+std::uint64_t ptz1_file_bytes(const tensor::Dims& core_dims,
+                              const std::vector<int>& grid,
+                              std::span<const tensor::Matrix> factors,
+                              std::size_t stats_count) {
+  const auto offsets = detail::block_offsets(core_dims, grid, 0);
+  return header_bytes(core_dims.size(), offsets.size() - 1, stats_count) +
+         factor_bytes(factors) + offsets.back();
+}
+
+bool is_ptz1(const std::string& path) {
+  const File file = File::open_read(path);
+  if (file.size() < 4) return false;
+  char magic[4] = {};
+  file.read_at(0, magic, 4);
+  return std::memcmp(magic, kMagicModel, 4) == 0;
+}
+
+void write_model(const std::string& path, const dist::DistTensor& core,
+                 std::span<const tensor::Matrix> factors,
+                 const data::NormalizationStats* stats) {
+  const mps::Comm& comm = core.comm();
+  const std::size_t order = core.global_dims().size();
+  PT_REQUIRE(factors.size() == order,
+             "write_model: need one factor per mode");
+  if (stats != nullptr) {
+    PT_REQUIRE(stats->mean.size() == stats->stdev.size(),
+               "write_model: stats mean/stdev size mismatch");
+  }
+  const std::size_t stats_count = stats == nullptr ? 0 : stats->mean.size();
+  const std::uint64_t ranks = static_cast<std::uint64_t>(comm.size());
+  const std::uint64_t data_base = header_bytes(order, ranks, stats_count) +
+                                  factor_bytes(factors);
+  const auto offsets =
+      detail::block_offsets(core.global_dims(), core.grid().shape(),
+                            data_base);
+
+  if (comm.rank() == 0) {
+    detail::HeaderWriter w;
+    w.magic(kMagicModel);
+    w.u64(kVersion);
+    w.u64(static_cast<std::uint64_t>(order));
+    for (std::size_t d : core.global_dims()) w.u64(d);
+    for (int e : core.grid().shape()) w.u64(static_cast<std::uint64_t>(e));
+    for (const tensor::Matrix& u : factors) w.u64(u.rows());
+    for (const tensor::Matrix& u : factors) w.u64(u.cols());
+    w.u64(stats_count > 0 ? 1 : 0);
+    if (stats_count > 0) {
+      w.u64(static_cast<std::uint64_t>(stats->species_mode));
+      w.u64(stats_count);
+      w.f64s(stats->mean.data(), stats_count);
+      w.f64s(stats->stdev.data(), stats_count);
+    }
+    for (std::uint64_t b = 0; b < ranks; ++b) w.u64(offsets[b]);
+    for (const tensor::Matrix& u : factors) w.f64s(u.data(), u.size());
+    PT_CHECK(w.size() == data_base, "pario: PTZ1 header size mismatch");
+    File f = File::create(path);
+    f.write_at(0, w.bytes().data(), w.bytes().size());
+    f.truncate(offsets.back());
+  }
+  comm.barrier();
+  if (core.local().size() > 0) {
+    const File f = File::open_write(path);
+    f.write_at(offsets[static_cast<std::size_t>(comm.rank())],
+               core.local().data(), core.local().size() * sizeof(double));
+  }
+  comm.barrier();
+}
+
+ModelData read_model(const std::string& path,
+                     std::shared_ptr<mps::CartGrid> grid) {
+  PT_REQUIRE(grid != nullptr, "read_model: null grid");
+  const File file = File::open_read(path);
+  detail::HeaderReader reader(file);
+  reader.expect_magic(kMagicModel);
+  PT_REQUIRE(reader.u64() == kVersion,
+             "pario: unsupported PTZ1 version in " << path);
+  const std::uint64_t order = reader.u64();
+  PT_REQUIRE(order >= 1 && order <= detail::kMaxOrder,
+             "pario: implausible order " << order << " in " << path);
+  PT_REQUIRE(static_cast<int>(order) == grid->order(),
+             "read_model: file order " << order << " != grid order "
+                                       << grid->order());
+  const auto dims64 = reader.u64s(order);
+  const tensor::Dims core_dims(dims64.begin(), dims64.end());
+  const std::vector<int> file_grid =
+      detail::read_grid_shape(reader, order, file);
+  std::uint64_t ranks = 1;
+  for (int e : file_grid) ranks *= static_cast<std::uint64_t>(e);
+  const auto rows = reader.u64s(order);
+  const auto cols = reader.u64s(order);
+
+  ModelData model;
+  model.has_stats = reader.u64() != 0;
+  if (model.has_stats) {
+    model.stats.species_mode = static_cast<int>(reader.u64());
+    const std::uint64_t count = reader.u64();
+    PT_REQUIRE(count <= (1u << 30), "pario: implausible stats count in "
+                                        << path);
+    model.stats.mean.resize(count);
+    model.stats.stdev.resize(count);
+    reader.f64s(model.stats.mean.data(), count);
+    reader.f64s(model.stats.stdev.data(), count);
+  }
+  const auto core_offsets = reader.u64s(ranks);
+
+  // Factors: replicated, so every rank reads them straight from the file.
+  model.factors.reserve(order);
+  std::uint64_t factor_pos = reader.pos();
+  for (std::uint64_t n = 0; n < order; ++n) {
+    PT_REQUIRE(rows[n] <= (1u << 30) && cols[n] <= (1u << 30) &&
+                   rows[n] * cols[n] <= detail::kMaxElements,
+               "pario: implausible factor shape in " << path);
+    tensor::Matrix u(rows[n], cols[n]);
+    if (u.size() > 0) {
+      file.read_at(factor_pos, u.data(), u.size() * sizeof(double));
+    }
+    factor_pos += u.size() * sizeof(double);
+    model.factors.push_back(std::move(u));
+  }
+  detail::validate_blocked_header("pario(PTZ1)", file, core_dims, file_grid,
+                                  core_offsets, factor_pos);
+
+  // Core: every rank preads its own block out of the writer's layout.
+  model.core = dist::DistTensor(std::move(grid), core_dims);
+  if (model.core.local().size() > 0) {
+    std::vector<util::Range> mine(core_dims.size());
+    for (int n = 0; n < model.core.order(); ++n) {
+      mine[static_cast<std::size_t>(n)] = model.core.mode_range(n);
+    }
+    model.core.local() = detail::read_blocked_ranges(
+        file, core_dims, file_grid, core_offsets, mine);
+  }
+  return model;
+}
+
+}  // namespace ptucker::pario

@@ -1,0 +1,65 @@
+#pragma once
+/// \file model_io.hpp
+/// \brief The PTZ1 parallel compressed-model container: core tensor written
+/// block-parallel, factor matrices and (optional) normalization statistics
+/// riding in the header.
+///
+/// Layout (little-endian):
+///   "PTZ1" | u64 version | u64 order N
+///   | u64 core_dims[N] | u64 grid[N] | u64 factor_rows[N] | u64 factor_cols[N]
+///   | u64 has_stats
+///   | [ u64 species_mode | u64 count | f64 mean[count] | f64 stdev[count] ]
+///   | u64 core_offset[prod(grid)]
+///   | f64 factor payloads (column-major, mode order)
+///   | core blocks (grid-rank order, as in PTB1)
+///
+/// Everything up to the core blocks is written by rank 0 (factors are
+/// replicated, so no gather is needed); every rank then pwrites its own
+/// core block. On load every rank reads the header and factor bytes itself
+/// and preads its core block — zero messages on the whole load path, and
+/// the offset table supports loading onto a different grid exactly as PTB1
+/// does. This replaces the PTKR flow that gathered the core to rank 0 and
+/// broadcast every factor.
+///
+/// pario sits below core in the layer map, so this interface speaks
+/// DistTensor + Matrix spans; core/tucker_io adapts it to TuckerTensor.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/normalize.hpp"
+#include "dist/dist_tensor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ptucker::pario {
+
+/// Contents of a loaded PTZ1 file.
+struct ModelData {
+  dist::DistTensor core;
+  std::vector<tensor::Matrix> factors;
+  bool has_stats = false;
+  data::NormalizationStats stats;  ///< valid only when has_stats
+};
+
+/// Collective: write the model block-parallel. \p stats may be null; when
+/// given it is archived in the header (the paper's per-species mean/stdev,
+/// needed to reconstruct physical values).
+void write_model(const std::string& path, const dist::DistTensor& core,
+                 std::span<const tensor::Matrix> factors,
+                 const data::NormalizationStats* stats = nullptr);
+
+/// Collective: load a PTZ1 file onto \p grid (any grid of matching order).
+[[nodiscard]] ModelData read_model(const std::string& path,
+                                   std::shared_ptr<mps::CartGrid> grid);
+
+/// True when the file at \p path starts with the PTZ1 magic.
+[[nodiscard]] bool is_ptz1(const std::string& path);
+
+/// Total byte size of the PTZ1 container for a model of the given shapes.
+/// \p stats_count is the species extent when stats are archived, 0 otherwise.
+[[nodiscard]] std::uint64_t ptz1_file_bytes(
+    const tensor::Dims& core_dims, const std::vector<int>& grid,
+    std::span<const tensor::Matrix> factors, std::size_t stats_count = 0);
+
+}  // namespace ptucker::pario

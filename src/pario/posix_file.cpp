@@ -1,0 +1,104 @@
+#include "pario/posix_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ptucker::pario {
+
+namespace {
+std::string errno_text() { return std::strerror(errno); }
+}  // namespace
+
+File::~File() { close(); }
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+File File::open_read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(hicpp-vararg)
+  PT_REQUIRE(fd >= 0, "pario: cannot open " << path << " for reading: "
+                                            << errno_text());
+  return File(fd, path);
+}
+
+File File::create(const std::string& path) {
+  const int fd =  // NOLINT(hicpp-vararg)
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PT_REQUIRE(fd >= 0,
+             "pario: cannot create " << path << ": " << errno_text());
+  return File(fd, path);
+}
+
+File File::open_write(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);  // NOLINT(hicpp-vararg)
+  PT_REQUIRE(fd >= 0, "pario: cannot open " << path << " for writing: "
+                                            << errno_text());
+  return File(fd, path);
+}
+
+std::uint64_t File::size() const {
+  PT_CHECK(valid(), "pario: size() on closed file");
+  struct stat st {};
+  PT_REQUIRE(::fstat(fd_, &st) == 0,
+             "pario: fstat " << path_ << ": " << errno_text());
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::read_at(std::uint64_t offset, void* buf, std::size_t n) const {
+  PT_CHECK(valid(), "pario: read_at on closed file");
+  char* dst = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, dst + done, n - done,
+                                static_cast<off_t>(offset + done));
+    PT_REQUIRE(got > 0, "pario: truncated read of "
+                            << path_ << " at offset " << (offset + done)
+                            << " (wanted " << (n - done) << " more bytes)");
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+void File::write_at(std::uint64_t offset, const void* buf,
+                    std::size_t n) const {
+  PT_CHECK(valid(), "pario: write_at on closed file");
+  const char* src = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::pwrite(fd_, src + done, n - done,
+                                 static_cast<off_t>(offset + done));
+    PT_REQUIRE(put > 0,
+               "pario: short write to " << path_ << ": " << errno_text());
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+void File::truncate(std::uint64_t length) const {
+  PT_CHECK(valid(), "pario: truncate on closed file");
+  PT_REQUIRE(::ftruncate(fd_, static_cast<off_t>(length)) == 0,
+             "pario: ftruncate " << path_ << ": " << errno_text());
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ptucker::pario

@@ -1,0 +1,79 @@
+#include "pario/timestep_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "pario/block_file.hpp"
+
+namespace ptucker::pario {
+
+TimestepReader::TimestepReader(std::string dir) : dir_(std::move(dir)) {
+  namespace fs = std::filesystem;
+  PT_REQUIRE(fs::is_directory(dir_),
+             "TimestepReader: " << dir_ << " is not a directory");
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".ptb" || ext == ".ptt") {
+      paths_.push_back(entry.path().string());
+    }
+  }
+  PT_REQUIRE(!paths_.empty(),
+             "TimestepReader: no .ptb/.ptt step files in " << dir_);
+  std::sort(paths_.begin(), paths_.end());
+  for (std::size_t t = 0; t < paths_.size(); ++t) {
+    const BlockFile file = BlockFile::open(paths_[t]);
+    if (t == 0) {
+      step_dims_ = file.dims();
+    } else {
+      PT_REQUIRE(file.dims() == step_dims_,
+                 "TimestepReader: " << paths_[t]
+                                    << " dims differ from the first step");
+    }
+  }
+}
+
+tensor::Tensor TimestepReader::read_step(
+    std::size_t t, const std::vector<util::Range>& ranges) const {
+  PT_REQUIRE(t < paths_.size(), "read_step: step " << t << " out of range");
+  return BlockFile::open(paths_[t]).read_ranges(ranges);
+}
+
+dist::DistTensor TimestepReader::read_window(
+    std::shared_ptr<mps::CartGrid> grid, std::size_t first,
+    std::size_t count) const {
+  PT_REQUIRE(grid != nullptr, "read_window: null grid");
+  const std::size_t order = step_dims_.size();
+  PT_REQUIRE(grid->order() == static_cast<int>(order) + 1,
+             "read_window: grid order " << grid->order()
+                                        << " != step order + 1");
+  PT_REQUIRE(count >= 1 && first + count <= paths_.size(),
+             "read_window: steps [" << first << ", " << (first + count)
+                                    << ") out of range");
+  tensor::Dims dims = step_dims_;
+  dims.push_back(count);
+  dist::DistTensor x(std::move(grid), std::move(dims));
+
+  const int time_mode = static_cast<int>(order);
+  std::vector<util::Range> spatial(order);
+  std::size_t slab = 1;  // elements of one local time slice
+  for (std::size_t n = 0; n < order; ++n) {
+    spatial[n] = x.mode_range(static_cast<int>(n));
+    slab *= spatial[n].size();
+  }
+  if (slab == 0) return x;
+
+  // Time is the last (slowest) mode, so each local time slice is one
+  // contiguous slab of the local block: stream step files straight in.
+  const util::Range my_time = x.mode_range(time_mode);
+  for (std::size_t ti = my_time.lo; ti < my_time.hi; ++ti) {
+    const tensor::Tensor slice = read_step(first + ti, spatial);
+    PT_CHECK(slice.size() == slab, "read_window: slab size mismatch");
+    std::memcpy(x.local().data() + (ti - my_time.lo) * slab, slice.data(),
+                slab * sizeof(double));
+  }
+  return x;
+}
+
+}  // namespace ptucker::pario

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "blas/blas.hpp"
 #include "dist/grid.hpp"
 #include "test_utils.hpp"
 
@@ -94,6 +97,29 @@ TEST(DefaultGridShape, UsableByMakeGrid) {
     EXPECT_EQ(grid->comm().size(), 6);
     (void)comm;
   });
+}
+
+TEST(MakeGrid, AutoTunesGemmThreadsToSpareCores) {
+  // Grid construction hands the idle cores to the local BLAS:
+  // max(1, hardware_threads / ranks). Re-arm the auto-tune first (and on
+  // exit) so this test is independent of suite ordering.
+  blas::reset_gemm_threads();
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1});
+    (void)grid;
+    EXPECT_EQ(blas::gemm_threads(), std::max(1, hw / 2));
+    (void)comm;
+  });
+  // An explicit user setting always wins over later grid constructions.
+  blas::set_gemm_threads(3);
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 2});
+    (void)grid;
+    EXPECT_EQ(blas::gemm_threads(), 3);
+    (void)comm;
+  });
+  blas::reset_gemm_threads();
 }
 
 }  // namespace

@@ -222,6 +222,94 @@ TEST_P(Collectives, ScatterVariedDeliversBlocks) {
   });
 }
 
+/// The binomial-tree gather/scatter must agree with the flat direct-send
+/// oracle for every P (incl. non-powers-of-two), every root, and varied
+/// (including empty) per-rank payloads — the non-divisible-dims shapes the
+/// DistTensor layer produces.
+TEST_P(Collectives, TreeGatherMatchesFlatOracle) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += std::max(1, p - 1)) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      // Rank r contributes r % 4 elements: some contributions are empty.
+      const auto mine =
+          payload_for(comm.rank(), static_cast<std::size_t>(comm.rank() % 4));
+      const auto tree = mps::gather_varied(
+          comm, std::span<const double>(mine), root, mps::RootedAlgo::Tree);
+      const auto flat = mps::gather_varied(
+          comm, std::span<const double>(mine), root, mps::RootedAlgo::Flat);
+      if (comm.rank() == root) {
+        ASSERT_EQ(tree.size(), flat.size());
+        for (std::size_t r = 0; r < tree.size(); ++r) {
+          ASSERT_EQ(tree[r].size(), flat[r].size()) << "rank " << r;
+          if (!tree[r].empty()) {
+            EXPECT_EQ(testing::max_diff(tree[r].data(), flat[r].data(),
+                                        tree[r].size()),
+                      0.0);
+          }
+        }
+      } else {
+        EXPECT_TRUE(tree.empty());
+      }
+    });
+  }
+}
+
+TEST_P(Collectives, TreeScatterMatchesFlatOracle) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += std::max(1, p - 1)) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      std::vector<std::vector<double>> blocks;
+      if (comm.rank() == root) {
+        blocks.resize(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+          blocks[static_cast<std::size_t>(r)] =
+              payload_for(r, static_cast<std::size_t>(r % 3));
+        }
+      }
+      const auto tree =
+          mps::scatter_varied(comm, blocks, root, mps::RootedAlgo::Tree);
+      const auto flat =
+          mps::scatter_varied(comm, blocks, root, mps::RootedAlgo::Flat);
+      ASSERT_EQ(tree.size(), flat.size());
+      if (!tree.empty()) {
+        EXPECT_EQ(testing::max_diff(tree.data(), flat.data(), tree.size()),
+                  0.0);
+      }
+    });
+  }
+}
+
+/// The point of the tree: the root's latency term drops from P-1 messages
+/// to ceil(log2 P).
+TEST_P(Collectives, TreeRootedLatencyIsLogarithmic) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "no traffic for P=1";
+  int log2p = 0;
+  while ((1 << log2p) < p) ++log2p;
+  mps::Runtime rt(p);
+  rt.run([&](mps::Comm& comm) {
+    std::vector<std::vector<double>> blocks;
+    if (comm.rank() == 0) {
+      blocks.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        blocks[static_cast<std::size_t>(r)] =
+            payload_for(r, static_cast<std::size_t>(5));
+      }
+    }
+    const auto mine = mps::scatter_varied(comm, blocks, 0);
+    (void)mps::gather_varied(comm, std::span<const double>(mine), 0);
+  });
+  // Scatter: the root sends one package per tree level. Gather: the root
+  // sends nothing; every non-root sends exactly one package up.
+  EXPECT_EQ(rt.rank_stats(0).op_message_count(mps::OpKind::Scatter),
+            static_cast<std::uint64_t>(log2p));
+  EXPECT_EQ(rt.rank_stats(0).op_message_count(mps::OpKind::Gather), 0u);
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(rt.rank_stats(r).op_message_count(mps::OpKind::Gather), 1u)
+        << "rank " << r;
+  }
+}
+
 TEST_P(Collectives, BarrierSynchronizes) {
   const int p = GetParam();
   run_ranks(p, [&](mps::Comm& comm) {

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/reconstruct.hpp"
+#include "core/st_hosvd.hpp"
+#include "core/tucker_io.hpp"
+#include "data/synthetic.hpp"
+#include "dist/grid.hpp"
+#include "pario/block_file.hpp"
+#include "pario/model_io.hpp"
+#include "tensor/tensor_io.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using core::TuckerTensor;
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Tensor;
+using testing::run_ranks;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Every message the write/read paths may legitimately inject is a barrier
+/// token; any payload word elsewhere is inter-rank data movement.
+void expect_only_barrier_traffic(const mps::Runtime& rt) {
+  for (int r = 0; r < rt.world_size(); ++r) {
+    const mps::CommStats& s = rt.rank_stats(r);
+    for (int k = 0; k < mps::CommStats::kNumOps; ++k) {
+      const auto kind = static_cast<mps::OpKind>(k);
+      if (kind == mps::OpKind::Barrier) continue;
+      EXPECT_EQ(s.op_message_count(kind), 0u)
+          << "rank " << r << " sent " << mps::op_name(kind) << " messages";
+      EXPECT_EQ(s.op_words(kind), 0.0)
+          << "rank " << r << " moved " << mps::op_name(kind) << " words";
+    }
+  }
+}
+
+TEST(ParIo, RoundTripSameGridBitExactWithZeroDataMovement) {
+  const std::string path = temp_path("ptucker_ptb_same.ptb");
+  const Dims dims{9, 8, 7};
+  mps::Runtime rt(4);
+  std::vector<DistTensor> xs(4);
+  rt.run([&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    DistTensor x(grid, dims);
+    x.fill_global(testing::splitmix_field(31));
+    xs[static_cast<std::size_t>(comm.rank())] = std::move(x);
+  });
+  rt.reset_stats();  // count only the IO path itself
+  rt.run([&](mps::Comm& comm) {
+    const DistTensor& x = xs[static_cast<std::size_t>(comm.rank())];
+    pario::write_dist_tensor(path, x);
+    const DistTensor y = pario::read_dist_tensor(x.grid_ptr(), path);
+    EXPECT_EQ(y.global_dims(), dims);
+    // Bit-exact: the payload is raw little-endian doubles either way.
+    EXPECT_EQ(testing::max_diff(x.local(), y.local()), 0.0);
+  });
+  expect_only_barrier_traffic(rt);
+  EXPECT_EQ(std::filesystem::file_size(path),
+            pario::ptb1_file_bytes(dims, {2, 2, 1}));
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, RedistributesAcrossGridsAndRankCounts) {
+  const std::string path = temp_path("ptucker_ptb_redist.ptb");
+  const Dims dims{10, 7, 6};
+  Tensor reference;
+  // Write on a 2x2x1 grid of 4 ranks...
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    DistTensor x(grid, dims);
+    x.fill_global(testing::splitmix_field(77));
+    pario::write_dist_tensor(path, x);
+    const Tensor global = x.gather(0);
+    if (comm.rank() == 0) reference = global;
+  });
+  // ...read on a 3x1x2 grid of 6 ranks: every rank assembles its block from
+  // the writer's offset table with no communication at all.
+  mps::Runtime rt(6);
+  std::vector<std::shared_ptr<mps::CartGrid>> grids(6);
+  rt.run([&](mps::Comm& comm) {
+    grids[static_cast<std::size_t>(comm.rank())] =
+        dist::make_grid(comm, {3, 1, 2});
+  });
+  rt.reset_stats();  // count only the redistribution read
+  rt.run([&](mps::Comm& comm) {
+    auto grid = grids[static_cast<std::size_t>(comm.rank())];
+    const DistTensor y = pario::read_dist_tensor(grid, path);
+    DistTensor expect(grid, dims);
+    expect.fill_global(testing::splitmix_field(77));
+    EXPECT_EQ(testing::max_diff(expect.local(), y.local()), 0.0);
+  });
+  // The read path is zero-message outright (not even barriers).
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(rt.rank_stats(r).messages_sent, 0u) << "rank " << r;
+  }
+  // And a single-rank read sees the full original tensor.
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1});
+    const DistTensor y = pario::read_dist_tensor(grid, path);
+    EXPECT_EQ(testing::max_diff(reference, y.local()), 0.0);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, ReadsLegacyPtt1FilesBlockParallel) {
+  const std::string path = temp_path("ptucker_ptb_legacy.ptt");
+  const Dims dims{8, 6, 5};
+  Tensor global(dims);
+  global.fill_from(testing::splitmix_field(5));
+  tensor::save_tensor(path, global);
+  mps::Runtime rt(4);
+  std::vector<std::shared_ptr<mps::CartGrid>> grids(4);
+  rt.run([&](mps::Comm& comm) {
+    grids[static_cast<std::size_t>(comm.rank())] =
+        dist::make_grid(comm, {1, 2, 2});
+  });
+  rt.reset_stats();
+  rt.run([&](mps::Comm& comm) {
+    auto grid = grids[static_cast<std::size_t>(comm.rank())];
+    const DistTensor y = pario::read_dist_tensor(grid, path);
+    DistTensor expect(grid, dims);
+    expect.fill_global(testing::splitmix_field(5));
+    EXPECT_EQ(testing::max_diff(expect.local(), y.local()), 0.0);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(rt.rank_stats(r).messages_sent, 0u) << "rank " << r;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, HandlesEmptyBlocks) {
+  // 5 ranks over a mode of extent 3: uniform floor splits leave some ranks
+  // with nothing to write or read.
+  const std::string path = temp_path("ptucker_ptb_empty.ptb");
+  const Dims dims{3, 4};
+  run_ranks(5, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {5, 1});
+    DistTensor x(grid, dims);
+    x.fill_global(testing::splitmix_field(9));
+    pario::write_dist_tensor(path, x);
+    const DistTensor y = pario::read_dist_tensor(grid, path);
+    EXPECT_EQ(testing::max_diff(x.local(), y.local()), 0.0);
+  });
+  // The file is complete (trailing empty blocks included in the size).
+  EXPECT_EQ(std::filesystem::file_size(path),
+            pario::ptb1_file_bytes(dims, {5, 1}));
+  // Cross-grid read of the same file.
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 2});
+    const DistTensor y = pario::read_dist_tensor(grid, path);
+    DistTensor expect(grid, dims);
+    expect.fill_global(testing::splitmix_field(9));
+    EXPECT_EQ(testing::max_diff(expect.local(), y.local()), 0.0);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, RejectsTruncatedAndCorruptFiles) {
+  const std::string path = temp_path("ptucker_ptb_corrupt.ptb");
+  const Dims dims{6, 6};
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1});
+    DistTensor x(grid, dims);
+    x.fill_global(testing::splitmix_field(3));
+    pario::write_dist_tensor(path, x);
+  });
+
+  // Garbage magic.
+  const std::string garbage = temp_path("ptucker_ptb_garbage.ptb");
+  {
+    std::ofstream os(garbage, std::ios::binary);
+    os << "not a block tensor at all";
+  }
+  EXPECT_THROW((void)pario::BlockFile::open(garbage), InvalidArgument);
+  std::filesystem::remove(garbage);
+
+  // Corrupt dims: an absurd extent must be rejected before any size
+  // arithmetic can wrap or any allocation is attempted (dims[0] sits at
+  // byte 20: magic + version + order).
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t absurd = 1ull << 62;
+    fs.seekp(20);
+    fs.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  EXPECT_THROW((void)pario::BlockFile::open(path), InvalidArgument);
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t dim = 6;  // restore
+    fs.seekp(20);
+    fs.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+
+  // Truncated payload: the offset table points past the new end.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 16);
+  EXPECT_THROW((void)pario::BlockFile::open(path), InvalidArgument);
+
+  // Truncated header.
+  std::filesystem::resize_file(path, 12);
+  EXPECT_THROW((void)pario::BlockFile::open(path), InvalidArgument);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW((void)pario::BlockFile::open(temp_path("ptucker_missing.ptb")),
+               InvalidArgument);
+}
+
+TEST(ParIo, Ptz1SaveLoadParityWithPtkr) {
+  const std::string ptz = temp_path("ptucker_model_par.ptz");
+  const std::string ptkr = temp_path("ptucker_model_par.ptkr");
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 7, 6}, Dims{3, 2, 2}, 3, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    const TuckerTensor model = core::st_hosvd(x, opts).tucker;
+    core::save_tucker(ptz, model);  // default: PTZ1
+    core::save_tucker(ptkr, model, core::ModelFormat::Ptkr);
+  });
+  // Both formats load transparently — onto a different grid — and agree.
+  run_ranks(6, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {3, 1, 2});
+    const TuckerTensor a = core::load_tucker(ptz, grid);
+    const TuckerTensor b = core::load_tucker(ptkr, grid);
+    EXPECT_EQ(a.core_dims(), b.core_dims());
+    ASSERT_EQ(a.factors.size(), b.factors.size());
+    for (std::size_t n = 0; n < a.factors.size(); ++n) {
+      EXPECT_EQ(testing::max_diff(a.factors[n], b.factors[n]), 0.0);
+    }
+    EXPECT_EQ(testing::max_diff(a.core.local(), b.core.local()), 0.0);
+    const Tensor rec_a = core::reconstruct(a).gather(0);
+    const Tensor rec_b = core::reconstruct(b).gather(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(testing::max_diff(rec_a, rec_b), 0.0);
+    }
+  });
+  std::filesystem::remove(ptz);
+  std::filesystem::remove(ptkr);
+}
+
+TEST(ParIo, Ptz1SaveLoadMovesZeroWords) {
+  const std::string path = temp_path("ptucker_model_zero.ptz");
+  mps::Runtime rt(4);
+  std::vector<TuckerTensor> models(4);
+  rt.run([&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 7, 6}, Dims{3, 2, 2}, 11, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    models[static_cast<std::size_t>(comm.rank())] =
+        core::st_hosvd(x, opts).tucker;
+  });
+  rt.reset_stats();  // count only save + load
+  rt.run([&](mps::Comm& comm) {
+    const TuckerTensor& model = models[static_cast<std::size_t>(comm.rank())];
+    core::save_tucker(path, model);
+    const TuckerTensor loaded =
+        core::load_tucker(path, model.core.grid_ptr());
+    EXPECT_EQ(loaded.core_dims(), model.core_dims());
+    EXPECT_EQ(testing::max_diff(loaded.core.local(), model.core.local()),
+              0.0);
+  });
+  expect_only_barrier_traffic(rt);
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, Ptz1ArchivesNormalizationStats) {
+  const std::string path = temp_path("ptucker_model_stats.ptz");
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 7, 5}, Dims{3, 2, 2}, 19, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    const TuckerTensor model = core::st_hosvd(x, opts).tucker;
+    data::NormalizationStats stats;
+    stats.species_mode = 2;
+    stats.mean = {1.0, 2.0, 3.0, 4.0, 5.0};
+    stats.stdev = {0.1, 0.2, 0.3, 0.4, 0.5};
+    pario::write_model(path, model.core,
+                       std::span<const tensor::Matrix>(model.factors),
+                       &stats);
+    const pario::ModelData loaded = pario::read_model(path, grid);
+    EXPECT_TRUE(loaded.has_stats);
+    EXPECT_EQ(loaded.stats.species_mode, 2);
+    EXPECT_EQ(loaded.stats.mean, stats.mean);
+    EXPECT_EQ(loaded.stats.stdev, stats.stdev);
+    EXPECT_EQ(testing::max_diff(loaded.core.local(), model.core.local()),
+              0.0);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(ParIo, SerializedBytesMatchesFileSizeBothFormats) {
+  const std::string ptz = temp_path("ptucker_model_sz.ptz");
+  const std::string ptkr = temp_path("ptucker_model_sz.ptkr");
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{10, 8}, Dims{3, 2}, 7, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    const TuckerTensor model = core::st_hosvd(x, opts).tucker;
+    core::save_tucker(ptz, model);
+    core::save_tucker(ptkr, model, core::ModelFormat::Ptkr);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(std::filesystem::file_size(ptz),
+                core::serialized_bytes(model));
+      EXPECT_EQ(std::filesystem::file_size(ptkr),
+                core::serialized_bytes(model, core::ModelFormat::Ptkr));
+    }
+  });
+  std::filesystem::remove(ptz);
+  std::filesystem::remove(ptkr);
+}
+
+}  // namespace
+}  // namespace ptucker

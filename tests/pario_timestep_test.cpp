@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/st_hosvd.hpp"
+#include "dist/grid.hpp"
+#include "pario/block_file.hpp"
+#include "pario/timestep_reader.hpp"
+#include "tensor/tensor_io.hpp"
+#include "test_utils.hpp"
+
+namespace ptucker {
+namespace {
+
+using dist::DistTensor;
+using tensor::Dims;
+using tensor::Tensor;
+using testing::run_ranks;
+
+/// The value of step t at a spatial multi-index: a distinct deterministic
+/// field per step so cross-step mixups are caught.
+double step_value(std::span<const std::size_t> idx, std::size_t t) {
+  std::uint64_t h = 1000 + t;
+  for (std::size_t i : idx) h = util::splitmix64(h ^ (i + 0xABC));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+}
+
+/// Create a fresh step directory with \p steps files of the given dims,
+/// alternating the chunked PTB1 and legacy PTT1 containers.
+std::string make_step_dir(const char* name, const Dims& dims,
+                          std::size_t steps) {
+  namespace fs = std::filesystem;
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (std::size_t t = 0; t < steps; ++t) {
+    Tensor field(dims);
+    field.fill_from(
+        [&](std::span<const std::size_t> idx) { return step_value(idx, t); });
+    char file[32];
+    if (t % 2 == 0) {
+      std::snprintf(file, sizeof(file), "step_%04zu.ptt", t);
+      tensor::save_tensor(dir + "/" + file, field);
+    } else {
+      std::snprintf(file, sizeof(file), "step_%04zu.ptb", t);
+      run_ranks(2, [&](mps::Comm& comm) {
+        auto grid = dist::make_grid(comm, {2, 1, 1});
+        DistTensor x(grid, dims);
+        x.fill_global([&](std::span<const std::size_t> idx) {
+          return step_value(idx, t);
+        });
+        pario::write_dist_tensor(dir + "/" + file, x);
+      });
+    }
+  }
+  return dir;
+}
+
+TEST(TimestepReader, ScansSortsAndValidates) {
+  const Dims dims{6, 5, 4};
+  const std::string dir = make_step_dir("ptucker_steps_scan", dims, 5);
+  const pario::TimestepReader reader(dir);
+  EXPECT_EQ(reader.num_steps(), 5u);
+  EXPECT_EQ(reader.step_dims(), dims);
+  for (std::size_t t = 1; t < reader.num_steps(); ++t) {
+    EXPECT_LT(reader.step_path(t - 1), reader.step_path(t));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, ReadStepRangesMatchesOracle) {
+  const Dims dims{6, 5, 4};
+  const std::string dir = make_step_dir("ptucker_steps_ranges", dims, 3);
+  const pario::TimestepReader reader(dir);
+  const std::vector<util::Range> ranges{{1, 5}, {0, 3}, {2, 4}};
+  for (std::size_t t = 0; t < 3; ++t) {
+    const Tensor got = reader.read_step(t, ranges);
+    Tensor expect(Dims{4, 3, 2});
+    std::size_t i = 0;
+    for (std::size_t k = 2; k < 4; ++k) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        for (std::size_t ii = 1; ii < 5; ++ii) {
+          const std::size_t idx[3] = {ii, j, k};
+          expect[i++] = step_value(idx, t);
+        }
+      }
+    }
+    EXPECT_EQ(testing::max_diff(expect, got), 0.0) << "step " << t;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, WindowAssemblyIsCommunicationFree) {
+  const Dims dims{6, 5, 4};
+  const std::size_t steps = 6;
+  const std::string dir = make_step_dir("ptucker_steps_window", dims, steps);
+  mps::Runtime rt(4);
+  std::vector<std::shared_ptr<mps::CartGrid>> grids(4);
+  rt.run([&](mps::Comm& comm) {
+    grids[static_cast<std::size_t>(comm.rank())] =
+        dist::make_grid(comm, {2, 1, 1, 2});  // time distributed too
+  });
+  rt.reset_stats();  // count only the streaming pipeline
+  rt.run([&](mps::Comm& comm) {
+    auto grid = grids[static_cast<std::size_t>(comm.rank())];
+    const pario::TimestepReader reader(dir);
+    const DistTensor x = reader.read_window(grid, 1, 4);
+    EXPECT_EQ(x.global_dims(), (Dims{6, 5, 4, 4}));
+    DistTensor expect(grid, Dims{6, 5, 4, 4});
+    expect.fill_global([&](std::span<const std::size_t> idx) {
+      return step_value(idx.subspan(0, 3), 1 + idx[3]);
+    });
+    EXPECT_EQ(testing::max_diff(expect.local(), x.local()), 0.0);
+  });
+  // Scan + window assembly inject no messages at all — not even barriers.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(rt.rank_stats(r).messages_sent, 0u) << "rank " << r;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, WindowFeedsSthosvd) {
+  const Dims dims{8, 6, 4};
+  const std::string dir = make_step_dir("ptucker_steps_hosvd", dims, 4);
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1, 1});
+    const pario::TimestepReader reader(dir);
+    const DistTensor x = reader.read_window(grid, 0, 4);
+    core::SthosvdOptions opts;
+    opts.epsilon = 0.5;
+    const auto result = core::st_hosvd(x, opts);
+    EXPECT_LE(result.error_bound, 0.5);
+    EXPECT_EQ(result.tucker.order(), 4);
+  });
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, RejectsMixedDimsAndEmptyDirs) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "ptucker_steps_bad").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_THROW((void)pario::TimestepReader(dir), InvalidArgument);
+  tensor::save_tensor(dir + "/a.ptt", Tensor(Dims{4, 3}, 1.0));
+  tensor::save_tensor(dir + "/b.ptt", Tensor(Dims{4, 4}, 1.0));
+  EXPECT_THROW((void)pario::TimestepReader(dir), InvalidArgument);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ptucker
