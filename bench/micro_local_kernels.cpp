@@ -56,38 +56,79 @@ BENCHMARK(BM_SyrkFullVsLower)
     ->Args({256, 0})
     ->Args({256, 1});
 
+/// Args: (mode, path) with path 0 = batched single-invocation engine,
+/// 1 = the pre-batched per-right-slice gemm loop (ablation flag).
 void BM_LocalTtm(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
+  const auto path = state.range(1) == 0
+                        ? ptucker::tensor::LocalKernelPath::Batched
+                        : ptucker::tensor::LocalKernelPath::PerSlice;
   const Dims dims{48, 48, 48};
   const std::size_t k = 12;
   const Tensor y = Tensor::randn(dims, 5);
   const Matrix m = Matrix::randn(k, dims[static_cast<std::size_t>(mode)], 6);
+  ptucker::tensor::set_local_kernel_path(path);
   for (auto _ : state) {
     Tensor z = ptucker::tensor::local_ttm(y, m, mode);
     benchmark::DoNotOptimize(z.data());
   }
+  ptucker::tensor::set_local_kernel_path(
+      ptucker::tensor::LocalKernelPath::Batched);
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * static_cast<double>(ptucker::tensor::prod(dims)) * k *
           state.iterations() / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_LocalTtm)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_LocalTtm)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
 
+/// Args: (mode, path) as in BM_LocalTtm.
 void BM_LocalGram(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
+  const auto path = state.range(1) == 0
+                        ? ptucker::tensor::LocalKernelPath::Batched
+                        : ptucker::tensor::LocalKernelPath::PerSlice;
   const Dims dims{48, 48, 48};
   const Tensor y = Tensor::randn(dims, 7);
+  ptucker::tensor::set_local_kernel_path(path);
   for (auto _ : state) {
     Matrix s = ptucker::tensor::local_gram(y, mode);
     benchmark::DoNotOptimize(s.data());
   }
+  ptucker::tensor::set_local_kernel_path(
+      ptucker::tensor::LocalKernelPath::Batched);
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * static_cast<double>(dims[static_cast<std::size_t>(mode)]) *
           static_cast<double>(ptucker::tensor::prod(dims)) *
           state.iterations() / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_LocalGram)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_LocalGram)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
+
+/// The symmetric local Gram (packed syrk_lower_batch_strided + tiled
+/// symmetrize) vs the full-storage batched gemm, interior mode.
+void BM_LocalGramSym(benchmark::State& state) {
+  const bool sym = state.range(0) == 1;
+  const Dims dims{48, 48, 48};
+  const Tensor y = Tensor::randn(dims, 8);
+  for (auto _ : state) {
+    Matrix s = sym ? ptucker::tensor::local_gram_sym(y, 1)
+                   : ptucker::tensor::local_gram(y, 1);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_LocalGramSym)->Arg(0)->Arg(1);
 
 void BM_Eig(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

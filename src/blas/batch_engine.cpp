@@ -1,0 +1,316 @@
+/// \file batch_engine.cpp
+/// \brief The shared packed-panel engine (see kernel_core.hpp).
+
+#include <algorithm>
+#include <barrier>
+#include <cstring>
+#include <vector>
+
+#include "blas/kernel_core.hpp"
+#include "blas/threadpool.hpp"
+#include "util/error.hpp"
+
+namespace ptucker::blas::detail {
+
+namespace {
+
+/// Logical element access strides for op(X): element (i, j) of op(X) lives
+/// at x[i*rs + j*cs].
+struct OpStrides {
+  std::size_t rs;
+  std::size_t cs;
+};
+
+OpStrides strides_for(Trans t, std::size_t ld) {
+  return t == Trans::No ? OpStrides{1, ld} : OpStrides{ld, 1};
+}
+
+/// Pack an mc x kc block of op(A) into MR-row panels, zero-padding the
+/// ragged last panel. Layout: panel p holds rows [p*MR, p*MR+MR) as kc
+/// consecutive MR-vectors. Panels with p % parts != part are skipped, so a
+/// pool job splits the packing work without overlap.
+void pack_a(const double* a, OpStrides s, std::size_t row0, std::size_t col0,
+            std::size_t mc, std::size_t kc, double* dst, int part, int parts) {
+  for (std::size_t p = static_cast<std::size_t>(part); p < (mc + MR - 1) / MR;
+       p += static_cast<std::size_t>(parts)) {
+    const std::size_t i0 = p * MR;
+    const std::size_t rows = std::min(MR, mc - i0);
+    for (std::size_t l = 0; l < kc; ++l) {
+      const double* src = a + (row0 + i0) * s.rs + (col0 + l) * s.cs;
+      double* out = dst + p * (KC * MR) + l * MR;
+      std::size_t i = 0;
+      for (; i < rows; ++i) out[i] = src[i * s.rs];
+      for (; i < MR; ++i) out[i] = 0.0;
+    }
+  }
+}
+
+/// Pack a kc x nc block of op(B) into NR-column panels, zero-padded, with
+/// the same part/parts panel split as pack_a.
+void pack_b(const double* b, OpStrides s, std::size_t row0, std::size_t col0,
+            std::size_t kc, std::size_t nc, double* dst, int part, int parts) {
+  for (std::size_t p = static_cast<std::size_t>(part); p < (nc + NR - 1) / NR;
+       p += static_cast<std::size_t>(parts)) {
+    const std::size_t j0 = p * NR;
+    const std::size_t cols = std::min(NR, nc - j0);
+    for (std::size_t l = 0; l < kc; ++l) {
+      const double* src = b + (row0 + l) * s.rs + (col0 + j0) * s.cs;
+      double* out = dst + p * (KC * NR) + l * NR;
+      std::size_t j = 0;
+      for (; j < cols; ++j) out[j] = src[j * s.cs];
+      for (; j < NR; ++j) out[j] = 0.0;
+    }
+  }
+}
+
+/// MR x NR register-tiled microkernel: acc = sum_l Ap(:,l) * Bp(l,:).
+/// Ap: kc MR-vectors; Bp: kc NR-vectors. Plain nested loops over fixed-size
+/// arrays; GCC/Clang vectorize this into FMA code with -O3 -march=native.
+inline void micro_kernel(std::size_t kc, const double* ap, const double* bp,
+                         double acc[MR][NR]) {
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) acc[i][j] = 0.0;
+  }
+  for (std::size_t l = 0; l < kc; ++l) {
+    const double* av = ap + l * MR;
+    const double* bv = bp + l * NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const double ai = av[i];
+      for (std::size_t j = 0; j < NR; ++j) {
+        acc[i][j] += ai * bv[j];
+      }
+    }
+  }
+}
+
+/// Write acc back into C(gi.., gj..). With lower_only, rows above the
+/// diagonal are skipped element-wise when the tile straddles it.
+inline void write_back(double* c, std::size_t ldc, std::size_t gi,
+                       std::size_t gj, std::size_t rows, std::size_t cols,
+                       double alpha, double beta_eff,
+                       const double acc[MR][NR], bool lower_only) {
+  const bool straddles = lower_only && gi + 1 < gj + cols;
+  for (std::size_t j = 0; j < cols; ++j) {
+    double* cj = c + (gj + j) * ldc + gi;
+    std::size_t i = 0;
+    if (straddles && gj + j > gi) i = gj + j - gi;  // first row with gi+i >= gj+j
+    if (beta_eff == 0.0) {
+      for (; i < rows; ++i) cj[i] = alpha * acc[i][j];
+    } else {
+      for (; i < rows; ++i) cj[i] = beta_eff * cj[i] + alpha * acc[i][j];
+    }
+  }
+}
+
+/// Scale one C by beta (the k == 0 / alpha == 0 degenerate case); with
+/// lower_only only the stored triangle is touched.
+void scale_c(double* c, std::size_t ldc, std::size_t m, std::size_t n,
+             double beta, bool lower_only) {
+  if (beta == 1.0) return;
+  for (std::size_t j = 0; j < n; ++j) {
+    double* col = c + j * ldc;
+    const std::size_t i0 = lower_only ? std::min(j, m) : 0;
+    if (beta == 0.0) {
+      if (m > i0) std::memset(col + i0, 0, (m - i0) * sizeof(double));
+    } else {
+      for (std::size_t i = i0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+/// Barrier wrapper: no-op in the serial (parts == 1) path.
+struct SyncCtx {
+  std::barrier<>* bar = nullptr;
+  void sync() const {
+    if (bar != nullptr) bar->arrive_and_wait();
+  }
+};
+
+std::size_t a_pack_len() { return ((MC + MR - 1) / MR) * KC * MR; }
+std::size_t b_pack_len() { return ((NC + NR - 1) / NR) * KC * NR; }
+
+/// Fused-k body: one C, the batch rides in the contraction dimension with
+/// KC slabs clipped at item boundaries (bit-equal to a per-item gemm loop).
+/// Packing is split panel-wise across parts; the compute phase partitions
+/// micro tiles round-robin. All parts execute identical loop bounds, so the
+/// barrier arrival counts always match.
+void fused_body(const EngineArgs& g, double* a_pack, double* b_pack, int part,
+                int parts, const SyncCtx& ctx) {
+  const OpStrides sa = strides_for(g.ta, g.lda);
+  const OpStrides sb = strides_for(g.tb, g.ldb);
+  const std::size_t k_total = g.k * g.batch;
+  double acc[MR][NR];
+  for (std::size_t jc = 0; jc < g.n; jc += NC) {
+    const std::size_t nc = std::min(NC, g.n - jc);
+    const std::size_t n_panels = (nc + NR - 1) / NR;
+    std::size_t pc = 0;
+    while (pc < k_total) {
+      const std::size_t r = pc / g.k;
+      const std::size_t k0 = pc - r * g.k;
+      const std::size_t kc = std::min(KC, (r + 1) * g.k - pc);
+      const double beta_eff = (pc == 0) ? g.beta : 1.0;
+      pack_b(g.b + r * g.stride_b, sb, k0, jc, kc, nc, b_pack, part, parts);
+      ctx.sync();
+      for (std::size_t ic = 0; ic < g.m; ic += MC) {
+        const std::size_t mc = std::min(MC, g.m - ic);
+        const std::size_t m_panels = (mc + MR - 1) / MR;
+        pack_a(g.a + r * g.stride_a, sa, ic, k0, mc, kc, a_pack, part, parts);
+        ctx.sync();
+        const std::size_t tiles = m_panels * n_panels;
+        for (std::size_t t = static_cast<std::size_t>(part); t < tiles;
+             t += static_cast<std::size_t>(parts)) {
+          const std::size_t ip = t % m_panels;
+          const std::size_t jp = t / m_panels;
+          const std::size_t i0 = ip * MR;
+          const std::size_t j0 = jp * NR;
+          const std::size_t rows = std::min(MR, mc - i0);
+          const std::size_t cols = std::min(NR, nc - j0);
+          const std::size_t gi = ic + i0;
+          const std::size_t gj = jc + j0;
+          if (g.lower_only && gi + rows <= gj) continue;  // strictly upper
+          micro_kernel(kc, a_pack + ip * (KC * MR), b_pack + jp * (KC * NR),
+                       acc);
+          write_back(g.c, g.ldc, gi, gj, rows, cols, g.alpha, beta_eff, acc,
+                     g.lower_only);
+        }
+        ctx.sync();
+      }
+      pc += kc;
+    }
+  }
+}
+
+/// Strided-C body: per-item C with a shared op(B) packed once per KC slab
+/// (stride_b == 0). Work units are (item, MC-tile) pairs; each part packs
+/// the op(A) tiles it owns into its own private buffer, so the only shared
+/// state is the B panel (two barriers per KC slab). \p a_pack is this
+/// part's private buffer, allocated by the caller *before* the fork: a
+/// barrier-synchronized body must never throw (an allocation failure here
+/// would strand the other parts at the barrier), so it performs no
+/// allocation at all.
+void strided_body(const EngineArgs& g, double* b_pack, double* a_pack,
+                  int part, int parts, const SyncCtx& ctx) {
+  const OpStrides sa = strides_for(g.ta, g.lda);
+  const OpStrides sb = strides_for(g.tb, g.ldb);
+  const std::size_t m_tiles = (g.m + MC - 1) / MC;
+  const std::size_t units = g.batch * m_tiles;
+  double acc[MR][NR];
+  for (std::size_t jc = 0; jc < g.n; jc += NC) {
+    const std::size_t nc = std::min(NC, g.n - jc);
+    const std::size_t n_panels = (nc + NR - 1) / NR;
+    for (std::size_t pc = 0; pc < g.k; pc += KC) {
+      const std::size_t kc = std::min(KC, g.k - pc);
+      const double beta_eff = (pc == 0) ? g.beta : 1.0;
+      pack_b(g.b, sb, pc, jc, kc, nc, b_pack, part, parts);
+      ctx.sync();
+      for (std::size_t u = static_cast<std::size_t>(part); u < units;
+           u += static_cast<std::size_t>(parts)) {
+        const std::size_t r = u / m_tiles;
+        const std::size_t ic = (u % m_tiles) * MC;
+        const std::size_t mc = std::min(MC, g.m - ic);
+        const std::size_t m_panels = (mc + MR - 1) / MR;
+        pack_a(g.a + r * g.stride_a, sa, ic, pc, mc, kc, a_pack, 0, 1);
+        double* c_item = g.c + r * g.stride_c;
+        for (std::size_t jp = 0; jp < n_panels; ++jp) {
+          const std::size_t j0 = jp * NR;
+          const std::size_t cols = std::min(NR, nc - j0);
+          for (std::size_t ip = 0; ip < m_panels; ++ip) {
+            const std::size_t i0 = ip * MR;
+            const std::size_t rows = std::min(MR, mc - i0);
+            micro_kernel(kc, a_pack + ip * (KC * MR), b_pack + jp * (KC * NR),
+                         acc);
+            write_back(c_item, g.ldc, ic + i0, jc + j0, rows, cols, g.alpha,
+                       beta_eff, acc, false);
+          }
+        }
+      }
+      ctx.sync();
+    }
+  }
+}
+
+/// Threading decision: aggregate batch flops above the threshold, enough
+/// flops per barrier-synchronized KC slab to amortize the sync, never from
+/// inside a pool worker, and capped at the number of independent work
+/// units so every part has something to do.
+int decide_parts(const EngineArgs& g, bool fused) {
+  const int threads = gemm_threads();
+  if (threads <= 1 || ThreadPool::in_worker()) return 1;
+  double flops = 2.0 * static_cast<double>(g.m) * static_cast<double>(g.n) *
+                 static_cast<double>(g.k) * static_cast<double>(g.batch);
+  if (g.lower_only) flops *= 0.5;  // upper micro tiles are skipped
+  if (flops <= kThreadFlopThreshold) return 1;
+  // Fused slabs are clipped at item boundaries: a tiny per-item k with a
+  // huge batch means thousands of thin slabs, each paying barriers. The
+  // strided path barriers once per (jc, pc) block regardless of batch.
+  const std::size_t k_slabs = (g.k + KC - 1) / KC;
+  const std::size_t slabs = ((g.n + NC - 1) / NC) *
+                            (fused ? g.batch * k_slabs : k_slabs);
+  if (flops / static_cast<double>(slabs) < kThreadFlopsPerSlabMin) return 1;
+  std::size_t units;
+  if (fused) {
+    units = ((std::min(g.m, MC) + MR - 1) / MR) *
+            ((std::min(g.n, NC) + NR - 1) / NR);
+  } else {
+    units = g.batch * ((g.m + MC - 1) / MC);
+  }
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), units));
+}
+
+}  // namespace
+
+void run_engine(const EngineArgs& g) {
+  if (g.m == 0 || g.n == 0 || g.batch == 0) return;
+  if (g.k == 0 || g.alpha == 0.0) {
+    if (g.stride_c == 0 || g.batch == 1) {
+      scale_c(g.c, g.ldc, g.m, g.n, g.beta, g.lower_only);
+    } else {
+      for (std::size_t r = 0; r < g.batch; ++r) {
+        scale_c(g.c + r * g.stride_c, g.ldc, g.m, g.n, g.beta, g.lower_only);
+      }
+    }
+    return;
+  }
+
+  const bool fused = g.stride_c == 0 || g.batch == 1;
+  PT_CHECK(fused || g.stride_b == 0,
+           "run_engine: strided-C batches require a shared B "
+           "(the public wrapper loops the general case)");
+  PT_CHECK(!g.lower_only || fused, "run_engine: lower_only requires fused C");
+
+  // All scratch is allocated on the calling thread *before* any fork and
+  // reused across calls; pool workers receive raw pointers through the job
+  // closure. The bodies themselves never allocate: a throw between barrier
+  // phases would strand the sibling parts at the barrier.
+  const int parts = decide_parts(g, fused);
+  thread_local std::vector<double> t_shared_b;
+  thread_local std::vector<double> t_a_packs;  // one private slab per part
+  t_shared_b.resize(b_pack_len());
+  double* b_pack = t_shared_b.data();
+  t_a_packs.resize(a_pack_len() * (fused ? 1 : static_cast<std::size_t>(parts)));
+  double* a_packs = t_a_packs.data();
+
+  if (parts <= 1) {
+    const SyncCtx ctx{};
+    if (fused) {
+      fused_body(g, a_packs, b_pack, 0, 1, ctx);
+    } else {
+      strided_body(g, b_pack, a_packs, 0, 1, ctx);
+    }
+    return;
+  }
+  std::barrier<> bar(parts);
+  const SyncCtx ctx{&bar};
+  ThreadPool::local().run(parts, [&](int part) {
+    if (fused) {
+      fused_body(g, a_packs, b_pack, part, parts, ctx);
+    } else {
+      strided_body(g, b_pack,
+                   a_packs + a_pack_len() * static_cast<std::size_t>(part),
+                   part, parts, ctx);
+    }
+  });
+}
+
+}  // namespace ptucker::blas::detail

@@ -46,11 +46,41 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           double alpha, const double* a, std::size_t lda, const double* b,
           std::size_t ldb, double beta, double* c, std::size_t ldc);
 
+/// Batched gemm over `batch` items with constant strides between operands:
+/// X_i = x + i*stride_x. Two stride values have packing-reuse semantics:
+///
+///  - stride_c == 0: all items accumulate into the *single* C,
+///      C = beta*C + alpha * sum_i op(A_i) op(B_i),
+///    with the batch fused into the KC loop of the packed engine. This is
+///    the slice-summed local Gram / cross-Gram shape. KC slabs are clipped
+///    at item boundaries, so the result is bit-identical to looping
+///    single gemm calls with beta then 1.0.
+///  - stride_b == 0 (with stride_c != 0): op(B) is shared and packed once
+///    per KC slab instead of once per item — the local TTM shape, where the
+///    per-slice loop used to re-pack the factor matrix `batch` times.
+///
+/// The intra-kernel threading decision is made on the *aggregate* batch
+/// flops (2*m*n*k*batch), so thousands of small slices thread as one large
+/// call. Results are bit-identical for any gemm_threads() setting. The
+/// fully general case (all strides nonzero) is legal but runs as a loop of
+/// single calls — there is nothing to reuse.
+void gemm_batch_strided(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                        std::size_t k, double alpha, const double* a,
+                        std::size_t lda, std::size_t stride_a, const double* b,
+                        std::size_t ldb, std::size_t stride_b, double beta,
+                        double* c, std::size_t ldc, std::size_t stride_c,
+                        std::size_t batch);
+
 /// Intra-kernel threading (paper Sec. IX: "using multi-threaded BLAS for
-/// all local computations"). When set > 1, large gemm calls split their
-/// column dimension across that many threads. Default 1: in this runtime
-/// the ranks themselves are threads, so nested parallelism only pays when
-/// running fewer ranks than cores. The setting is global (atomic).
+/// all local computations"). When set > 1, level-3 calls whose *aggregate*
+/// flops (whole batch, not per slice) exceed a threshold fork onto that
+/// many parts of the calling thread's persistent worker pool
+/// (blas/threadpool.hpp) — no per-call thread spawn/join. Work is
+/// partitioned over packed macro/micro tiles; ownership never changes the
+/// per-element accumulation order, so results are bit-identical for any
+/// setting. Default 1: in this runtime the ranks themselves are threads, so
+/// nested parallelism only pays when running fewer ranks than cores. The
+/// setting is global (atomic).
 void set_gemm_threads(int threads);
 [[nodiscard]] int gemm_threads();
 
@@ -72,16 +102,29 @@ void syrk_full(Trans trans, std::size_t n, std::size_t k, double alpha,
                const double* a, std::size_t lda, double beta, double* c,
                std::size_t ldc);
 
-/// Symmetry-exploiting variant: computes the lower triangle in ~n^2 k flops
-/// (vs 2 n^2 k) and leaves the upper triangle untouched. Use
-/// symmetrize_from_lower() to fill the mirror. This is the optimization the
-/// paper's Sec. IX lists as future work; bench/ablate_gram_symmetry measures
-/// it.
+/// Symmetry-exploiting variant: computes the lower triangle in n(n+1)k
+/// flops (vs 2 n^2 k) and leaves the upper triangle untouched. Use
+/// symmetrize_from_lower() to fill the mirror. Implemented as a true
+/// blocked-packed kernel: both operand panels are packed once per KC slab
+/// and micro tiles strictly above the diagonal are skipped, so the flop
+/// saving is realized at full microkernel throughput (the optimization the
+/// paper's Sec. IX lists as future work; bench/ablate_gram_symmetry
+/// measures it). Flops are counted as n(n+1)k, once.
 void syrk_lower(Trans trans, std::size_t n, std::size_t k, double alpha,
                 const double* a, std::size_t lda, double beta, double* c,
                 std::size_t ldc);
 
-/// Copy the lower triangle into the upper triangle.
+/// Batched syrk_lower: C = beta*C + alpha * sum_i op(A_i) op(A_i)^T with
+/// A_i = a + i*stride_a — the slice-summed symmetric local Gram in one
+/// kernel invocation. Same fused-KC semantics (and bit-equality with the
+/// per-slice loop) as gemm_batch_strided with stride_c == 0.
+void syrk_lower_batch_strided(Trans trans, std::size_t n, std::size_t k,
+                              double alpha, const double* a, std::size_t lda,
+                              std::size_t stride_a, double beta, double* c,
+                              std::size_t ldc, std::size_t batch);
+
+/// Copy the lower triangle into the upper triangle (cache-tiled transpose
+/// copy).
 void symmetrize_from_lower(std::size_t n, double* c, std::size_t ldc);
 
 /// --- level 2 -------------------------------------------------------------------

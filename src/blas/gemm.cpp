@@ -1,11 +1,9 @@
 #include <algorithm>
 #include <atomic>
-#include <cstring>
 #include <thread>
-#include <vector>
 
 #include "blas/blas.hpp"
-#include "util/blocks.hpp"
+#include "blas/kernel_core.hpp"
 #include "util/error.hpp"
 
 namespace ptucker::blas {
@@ -14,81 +12,6 @@ namespace {
 std::atomic<std::uint64_t> g_flops{0};
 std::atomic<int> g_gemm_threads{1};
 std::atomic<bool> g_gemm_threads_explicit{false};
-
-// Blocking parameters (doubles): KC*MR and KC*NR panels stay in L1/L2.
-constexpr std::size_t MR = 4;
-constexpr std::size_t NR = 8;
-constexpr std::size_t MC = 128;
-constexpr std::size_t KC = 256;
-constexpr std::size_t NC = 2048;
-
-/// Logical element access strides for op(X): element (i, j) of op(X) lives
-/// at x[i*rs + j*cs].
-struct OpStrides {
-  std::size_t rs;
-  std::size_t cs;
-};
-
-OpStrides strides_for(Trans t, std::size_t ld) {
-  return t == Trans::No ? OpStrides{1, ld} : OpStrides{ld, 1};
-}
-
-/// Pack an mc x kc block of op(A) into MR-row panels, zero-padding the
-/// ragged last panel. Layout: panel p holds rows [p*MR, p*MR+MR) as
-/// kc consecutive MR-vectors.
-void pack_a(const double* a, OpStrides s, std::size_t row0, std::size_t col0,
-            std::size_t mc, std::size_t kc, double* dst) {
-  for (std::size_t p = 0; p < (mc + MR - 1) / MR; ++p) {
-    const std::size_t i0 = p * MR;
-    const std::size_t rows = std::min(MR, mc - i0);
-    for (std::size_t l = 0; l < kc; ++l) {
-      const double* src =
-          a + (row0 + i0) * s.rs + (col0 + l) * s.cs;
-      double* out = dst + p * (KC * MR) + l * MR;
-      std::size_t i = 0;
-      for (; i < rows; ++i) out[i] = src[i * s.rs];
-      for (; i < MR; ++i) out[i] = 0.0;
-    }
-  }
-}
-
-/// Pack a kc x nc block of op(B) into NR-column panels, zero-padded.
-void pack_b(const double* b, OpStrides s, std::size_t row0, std::size_t col0,
-            std::size_t kc, std::size_t nc, double* dst) {
-  for (std::size_t p = 0; p < (nc + NR - 1) / NR; ++p) {
-    const std::size_t j0 = p * NR;
-    const std::size_t cols = std::min(NR, nc - j0);
-    for (std::size_t l = 0; l < kc; ++l) {
-      const double* src =
-          b + (row0 + l) * s.rs + (col0 + j0) * s.cs;
-      double* out = dst + p * (KC * NR) + l * NR;
-      std::size_t j = 0;
-      for (; j < cols; ++j) out[j] = src[j * s.cs];
-      for (; j < NR; ++j) out[j] = 0.0;
-    }
-  }
-}
-
-/// MR x NR register-tiled microkernel: acc = sum_l Ap(:,l) * Bp(l,:).
-/// Ap: kc MR-vectors; Bp: kc NR-vectors. Plain nested loops over fixed-size
-/// arrays; GCC/Clang vectorize this into FMA code with -O3 -march=native.
-inline void micro_kernel(std::size_t kc, const double* ap, const double* bp,
-                         double acc[MR][NR]) {
-  for (std::size_t i = 0; i < MR; ++i) {
-    for (std::size_t j = 0; j < NR; ++j) acc[i][j] = 0.0;
-  }
-  for (std::size_t l = 0; l < kc; ++l) {
-    const double* av = ap + l * MR;
-    const double* bv = bp + l * NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const double ai = av[i];
-      for (std::size_t j = 0; j < NR; ++j) {
-        acc[i][j] += ai * bv[j];
-      }
-    }
-  }
-}
-
 }  // namespace
 
 std::uint64_t flop_count() { return g_flops.load(std::memory_order_relaxed); }
@@ -120,120 +43,68 @@ void reset_gemm_threads() {
   g_gemm_threads.store(1, std::memory_order_relaxed);
 }
 
-namespace {
-/// Single-threaded blocked kernel (flops are counted by the dispatcher).
-void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n,
-               std::size_t k, double alpha, const double* a, std::size_t lda,
-               const double* b, std::size_t ldb, double beta, double* c,
-               std::size_t ldc);
-}  // namespace
-
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           double alpha, const double* a, std::size_t lda, const double* b,
           std::size_t ldb, double beta, double* c, std::size_t ldc) {
-  PT_REQUIRE(ldc >= std::max<std::size_t>(1, m), "gemm: ldc too small");
+  gemm_batch_strided(ta, tb, m, n, k, alpha, a, lda, 0, b, ldb, 0, beta, c,
+                     ldc, 0, 1);
+}
+
+void gemm_batch_strided(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                        std::size_t k, double alpha, const double* a,
+                        std::size_t lda, std::size_t stride_a, const double* b,
+                        std::size_t ldb, std::size_t stride_b, double beta,
+                        double* c, std::size_t ldc, std::size_t stride_c,
+                        std::size_t batch) {
+  PT_REQUIRE(ldc >= std::max<std::size_t>(1, m),
+             "gemm_batch_strided: ldc too small");
   if (m == 0 || n == 0) return;
-  add_flops((k == 0 || alpha == 0.0) ? 0 : 2ull * m * n * k);
-
-  // Sec. IX intra-kernel threading: split the column dimension into stripes
-  // (disjoint C columns -> no synchronization needed). Column j of op(B)
-  // starts at b + j*cs where cs is op(B)'s column stride.
-  const int threads = g_gemm_threads.load(std::memory_order_relaxed);
-  if (threads > 1 && n >= static_cast<std::size_t>(2 * threads) &&
-      2.0 * static_cast<double>(m) * static_cast<double>(n) *
-              static_cast<double>(k) >
-          4e6) {
-    const std::size_t bcs = (tb == Trans::No) ? ldb : 1;
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      const util::Range stripe = util::uniform_block(
-          n, static_cast<std::size_t>(threads), static_cast<std::size_t>(t));
-      if (stripe.size() == 0) continue;
-      workers.emplace_back([=]() {
-        gemm_impl(ta, tb, m, stripe.size(), k, alpha, a, lda,
-                  b + stripe.lo * bcs, ldb, beta, c + stripe.lo * ldc, ldc);
-      });
+  if (batch == 0) {
+    // An empty fused sum still owes C its beta scaling
+    // (C = beta*C + alpha * sum over nothing); with per-item Cs there is
+    // no item to scale.
+    if (stride_c == 0) {
+      gemm(Trans::No, Trans::No, m, n, 0, 0.0, nullptr, 1, nullptr, 1, beta,
+           c, ldc);
     }
-    for (auto& w : workers) w.join();
     return;
   }
-  gemm_impl(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-}
+  add_flops((k == 0 || alpha == 0.0) ? 0 : 2ull * m * n * k * batch);
 
-namespace {
-void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n,
-               std::size_t k, double alpha, const double* a, std::size_t lda,
-               const double* b, std::size_t ldb, double beta, double* c,
-               std::size_t ldc) {
+  detail::EngineArgs args;
+  args.ta = ta;
+  args.tb = tb;
+  args.m = m;
+  args.n = n;
+  args.k = k;
+  args.alpha = alpha;
+  args.beta = beta;
+  args.a = a;
+  args.lda = lda;
+  args.stride_a = stride_a;
+  args.b = b;
+  args.ldb = ldb;
+  args.stride_b = stride_b;
+  args.c = c;
+  args.ldc = ldc;
+  args.stride_c = stride_c;
+  args.batch = batch;
 
-  auto scale_c = [&](double factor) {
-    if (factor == 1.0) return;
-    for (std::size_t j = 0; j < n; ++j) {
-      double* col = c + j * ldc;
-      if (factor == 0.0) {
-        std::memset(col, 0, m * sizeof(double));
-      } else {
-        for (std::size_t i = 0; i < m; ++i) col[i] *= factor;
-      }
+  // The engine fuses the batch into the contraction (stride_c == 0) or
+  // shares the packed op(B) across per-item Cs (stride_b == 0). The fully
+  // general case — distinct A, B, and C per item — has no panel reuse to
+  // exploit, so it runs as a loop of single calls.
+  if (batch > 1 && stride_c != 0 && stride_b != 0) {
+    args.batch = 1;
+    for (std::size_t r = 0; r < batch; ++r) {
+      args.a = a + r * stride_a;
+      args.b = b + r * stride_b;
+      args.c = c + r * stride_c;
+      detail::run_engine(args);
     }
-  };
-
-  if (k == 0 || alpha == 0.0) {
-    scale_c(beta);
     return;
   }
-
-  const OpStrides sa = strides_for(ta, lda);
-  const OpStrides sb = strides_for(tb, ldb);
-
-  // Packing buffers (thread-local to avoid repeated allocation; each rank
-  // thread gets its own).
-  thread_local std::vector<double> a_pack;
-  thread_local std::vector<double> b_pack;
-  a_pack.resize(((MC + MR - 1) / MR) * KC * MR);
-  b_pack.resize(((NC + NR - 1) / NR) * KC * NR);
-
-  double acc[MR][NR];
-
-  for (std::size_t jc = 0; jc < n; jc += NC) {
-    const std::size_t nc = std::min(NC, n - jc);
-    for (std::size_t pc = 0; pc < k; pc += KC) {
-      const std::size_t kc = std::min(KC, k - pc);
-      const double beta_eff = (pc == 0) ? beta : 1.0;
-      pack_b(b, sb, pc, jc, kc, nc, b_pack.data());
-      for (std::size_t ic = 0; ic < m; ic += MC) {
-        const std::size_t mc = std::min(MC, m - ic);
-        pack_a(a, sa, ic, pc, mc, kc, a_pack.data());
-        const std::size_t m_panels = (mc + MR - 1) / MR;
-        const std::size_t n_panels = (nc + NR - 1) / NR;
-        for (std::size_t jp = 0; jp < n_panels; ++jp) {
-          const std::size_t j0 = jp * NR;
-          const std::size_t cols = std::min(NR, nc - j0);
-          for (std::size_t ip = 0; ip < m_panels; ++ip) {
-            const std::size_t i0 = ip * MR;
-            const std::size_t rows = std::min(MR, mc - i0);
-            micro_kernel(kc, a_pack.data() + ip * (KC * MR),
-                         b_pack.data() + jp * (KC * NR), acc);
-            // Write-back: C(ic+i0+i, jc+j0+j).
-            for (std::size_t j = 0; j < cols; ++j) {
-              double* cj = c + (jc + j0 + j) * ldc + (ic + i0);
-              if (beta_eff == 0.0) {
-                for (std::size_t i = 0; i < rows; ++i) {
-                  cj[i] = alpha * acc[i][j];
-                }
-              } else {
-                for (std::size_t i = 0; i < rows; ++i) {
-                  cj[i] = beta_eff * cj[i] + alpha * acc[i][j];
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  detail::run_engine(args);
 }
-}  // namespace
 
 }  // namespace ptucker::blas

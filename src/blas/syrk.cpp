@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "blas/blas.hpp"
+#include "blas/kernel_core.hpp"
 #include "util/error.hpp"
 
 namespace ptucker::blas {
@@ -21,39 +22,80 @@ void syrk_full(Trans trans, std::size_t n, std::size_t k, double alpha,
 void syrk_lower(Trans trans, std::size_t n, std::size_t k, double alpha,
                 const double* a, std::size_t lda, double beta, double* c,
                 std::size_t ldc) {
-  // Symmetry-exploiting variant (Sec. IX future work): process column-blocks
-  // of C; for each block, one gemm for the sub-diagonal rectangle and one
-  // small gemm for the diagonal block (upper half of the diagonal block is
-  // computed and discarded — an O(n * NB * k) overhead).
-  constexpr std::size_t NB = 32;
+  syrk_lower_batch_strided(trans, n, k, alpha, a, lda, 0, beta, c, ldc, 1);
+}
+
+void syrk_lower_batch_strided(Trans trans, std::size_t n, std::size_t k,
+                              double alpha, const double* a, std::size_t lda,
+                              std::size_t stride_a, double beta, double* c,
+                              std::size_t ldc, std::size_t batch) {
+  PT_REQUIRE(ldc >= std::max<std::size_t>(1, n),
+             "syrk_lower_batch_strided: ldc too small");
   if (n == 0) return;
-  for (std::size_t j0 = 0; j0 < n; j0 += NB) {
-    const std::size_t nb = std::min(NB, n - j0);
-    // Diagonal block C(j0:j0+nb, j0:j0+nb).
-    if (trans == Trans::No) {
-      gemm(Trans::No, Trans::Yes, nb, nb, k, alpha, a + j0, lda, a + j0, lda,
-           beta, c + j0 * ldc + j0, ldc);
-    } else {
-      gemm(Trans::Yes, Trans::No, nb, nb, k, alpha, a + j0 * lda, lda,
-           a + j0 * lda, lda, beta, c + j0 * ldc + j0, ldc);
-    }
-    // Rectangle below the diagonal block: rows j0+nb .. n.
-    const std::size_t rows = n - (j0 + nb);
-    if (rows == 0) continue;
-    if (trans == Trans::No) {
-      gemm(Trans::No, Trans::Yes, rows, nb, k, alpha, a + (j0 + nb), lda,
-           a + j0, lda, beta, c + j0 * ldc + (j0 + nb), ldc);
-    } else {
-      gemm(Trans::Yes, Trans::No, rows, nb, k, alpha, a + (j0 + nb) * lda,
-           lda, a + j0 * lda, lda, beta, c + j0 * ldc + (j0 + nb), ldc);
-    }
+  if (batch == 0) {
+    // Empty sum: C_lower = beta * C_lower, upper untouched.
+    detail::EngineArgs scale;
+    scale.m = n;
+    scale.n = n;
+    scale.k = 0;
+    scale.alpha = 0.0;
+    scale.beta = beta;
+    scale.c = c;
+    scale.ldc = ldc;
+    scale.lower_only = true;
+    detail::run_engine(scale);
+    return;
   }
+  // Symmetric-kernel flop model: n(n+1)k multiply-adds per item — the lower
+  // triangle including the diagonal, counted once (vs the 2 n^2 k a full
+  // gemm would report). This is what makes the sym-vs-full GF/s columns of
+  // ablate_gram_symmetry comparable.
+  add_flops((k == 0 || alpha == 0.0) ? 0 : n * (n + 1) * k * batch);
+
+  // The packed engine runs C = alpha * op(A) op(A)^T + beta * C as a gemm
+  // whose two operands are the same matrix under complementary transposes,
+  // skipping micro tiles strictly above the diagonal (lower_only). Both
+  // packed panels are built once per KC slab — unlike the old NB=32 gemm
+  // decomposition, which re-packed the same columns n/NB times and fed the
+  // microkernel NB-wide slivers.
+  detail::EngineArgs args;
+  args.ta = trans;
+  args.tb = trans == Trans::No ? Trans::Yes : Trans::No;
+  args.m = n;
+  args.n = n;
+  args.k = k;
+  args.alpha = alpha;
+  args.beta = beta;
+  args.a = a;
+  args.lda = lda;
+  args.stride_a = stride_a;
+  args.b = a;
+  args.ldb = lda;
+  args.stride_b = stride_a;
+  args.c = c;
+  args.ldc = ldc;
+  args.stride_c = 0;  // fused: every item accumulates into the single C
+  args.batch = batch;
+  args.lower_only = true;
+  detail::run_engine(args);
 }
 
 void symmetrize_from_lower(std::size_t n, double* c, std::size_t ldc) {
-  for (std::size_t j = 1; j < n; ++j) {
-    for (std::size_t i = 0; i < j; ++i) {
-      c[j * ldc + i] = c[i * ldc + j];
+  // Tiled transpose copy: the naive per-element loop strides a full column
+  // of C for every source read, thrashing cache once n exceeds a few
+  // hundred. Walking TB x TB tiles keeps both the strided source block and
+  // the contiguous destination columns resident.
+  constexpr std::size_t TB = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += TB) {
+    const std::size_t jb = std::min(TB, n - j0);
+    for (std::size_t i0 = 0; i0 <= j0; i0 += TB) {
+      const std::size_t ib = std::min(TB, n - i0);
+      for (std::size_t j = j0; j < j0 + jb; ++j) {
+        double* dst = c + j * ldc;        // upper: column j, rows i < j
+        const double* src = c + j;        // lower: row j, walked by column
+        const std::size_t ihi = std::min(i0 + ib, j);
+        for (std::size_t i = i0; i < ihi; ++i) dst[i] = src[i * ldc];
+      }
     }
   }
 }

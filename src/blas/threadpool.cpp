@@ -1,0 +1,148 @@
+#include "blas/threadpool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace ptucker::blas {
+
+namespace {
+std::atomic<std::uint64_t> g_workers_spawned{0};
+thread_local bool t_in_worker = false;
+}  // namespace
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(int)>* job = nullptr;
+  int job_parts = 0;
+  std::uint64_t generation = 0;
+  int outstanding = 0;  ///< workers that have not finished the current job
+  int registered = 0;   ///< workers that have adopted the current generation
+  bool stop = false;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool() : state_(std::make_unique<State>()) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->cv_work.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::local() {
+  static thread_local ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+void ThreadPool::worker_loop(int index) {
+  t_in_worker = true;
+  State& st = *state_;
+  // Adopt the current generation under the lock before signalling
+  // readiness. Starting from seen = 0 would let a late-spawned worker
+  // consume a *stale* generation left by an earlier job (an extra
+  // --outstanding that ends the join one part early); adopting a
+  // *post-job* generation would make it miss the job it was spawned for.
+  // ensure_workers blocks until every spawn has registered, so neither can
+  // happen.
+  std::uint64_t seen = 0;
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    seen = st.generation;
+    ++st.registered;
+    st.cv_done.notify_all();
+  }
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    bool participate = false;
+    {
+      std::unique_lock<std::mutex> lock(st.mutex);
+      st.cv_work.wait(lock,
+                      [&] { return st.stop || st.generation != seen; });
+      if (st.stop) return;
+      seen = st.generation;
+      fn = st.job;
+      participate = index + 1 < st.job_parts;
+    }
+    if (!participate) continue;  // idle workers never touch the join count
+    try {
+      (*fn)(index + 1);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      if (!st.error) st.error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      if (--st.outstanding == 0) st.cv_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ensure_workers(int count) {
+  if (static_cast<int>(workers_.size()) >= count) return;
+  while (static_cast<int>(workers_.size()) < count) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { worker_loop(index); });
+    g_workers_spawned.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Wait for every new worker to adopt the current generation; run() may
+  // bump it immediately after we return.
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv_done.wait(lock, [&] {
+    return state_->registered == static_cast<int>(workers_.size());
+  });
+}
+
+void ThreadPool::run(int parts, const std::function<void(int)>& fn) {
+  PT_REQUIRE(parts >= 1, "ThreadPool::run: parts must be >= 1");
+  PT_REQUIRE(!t_in_worker, "ThreadPool::run: nested fork from a worker");
+  if (parts == 1) {
+    fn(0);
+    return;
+  }
+  State& st = *state_;
+  ensure_workers(parts - 1);
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.job = &fn;
+    st.job_parts = parts;
+    // Join on the participants only: workers beyond parts-1 just re-arm on
+    // the new generation without being scheduled into the join path, so a
+    // small job on a grown pool doesn't wait for idle workers to wake.
+    st.outstanding = parts - 1;
+    ++st.generation;
+  }
+  st.cv_work.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr job_error;
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    st.cv_done.wait(lock, [&] { return st.outstanding == 0; });
+    st.job = nullptr;
+    job_error = st.error;
+    st.error = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (job_error) std::rethrow_exception(job_error);
+}
+
+std::uint64_t ThreadPool::workers_spawned() {
+  return g_workers_spawned.load(std::memory_order_relaxed);
+}
+
+}  // namespace ptucker::blas

@@ -1,0 +1,70 @@
+#pragma once
+/// \file threadpool.hpp
+/// \brief Persistent worker pool for intra-kernel threading.
+///
+/// The original gemm dispatcher spawned and joined fresh std::threads on
+/// every large call — acceptable for one huge multiply, ruinous for the
+/// batched local kernels where one ST-HOSVD issues thousands of calls. This
+/// pool keeps the workers alive across calls: each *calling* thread (in this
+/// runtime the ranks themselves are threads) lazily owns one private pool,
+/// so concurrent ranks never contend on a shared job queue and the worker
+/// count tracks blas::gemm_threads() per rank, matching the
+/// autotune_gemm_threads sizing of hardware_threads / ranks.
+///
+/// The pool runs fork/join jobs: run(parts, fn) invokes fn(part) for part in
+/// [0, parts), part 0 on the caller itself, the rest on persistent workers.
+/// Jobs may synchronize internally (the packed-panel engine shares packing
+/// buffers via a std::barrier); the pool itself only forks and joins.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ptucker::blas {
+
+class ThreadPool {
+ public:
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The calling thread's private persistent pool (lazily constructed,
+  /// destroyed — workers joined — when the thread exits).
+  [[nodiscard]] static ThreadPool& local();
+
+  /// True when called from inside a pool worker. Kernels use this to stay
+  /// serial instead of forking nested jobs.
+  [[nodiscard]] static bool in_worker();
+
+  /// Invoke fn(part) for part in [0, parts); part 0 runs on the caller, the
+  /// others on persistent workers (grown as needed, never shrunk). Blocks
+  /// until every part returns; the first exception thrown by any part is
+  /// rethrown after the join. Must not be called from inside a worker.
+  /// Caveat: the pool can only join parts that *return*. A job that
+  /// synchronizes internally (std::barrier) must not throw between barrier
+  /// phases — the sibling parts would wait forever for the missing arrival.
+  /// The kernel engine therefore does all allocation before forking.
+  void run(int parts, const std::function<void(int)>& fn);
+
+  /// Workers currently alive in this pool.
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Process-wide count of worker threads ever spawned (all pools). The
+  /// reuse test asserts this stays flat across repeated kernel calls.
+  [[nodiscard]] static std::uint64_t workers_spawned();
+
+ private:
+  struct State;
+  void ensure_workers(int count);
+  void worker_loop(int index);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ptucker::blas

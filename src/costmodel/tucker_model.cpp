@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "costmodel/collective_model.hpp"
+#include "dist/gram.hpp"
 #include "mps/cart.hpp"
 #include "util/error.hpp"
 
@@ -49,8 +50,8 @@ KernelCost ttm_cost(const Dims& dims, std::size_t k, int mode,
   return cost;
 }
 
-KernelCost gram_cost(const Dims& dims, int mode,
-                     const std::vector<int>& grid) {
+KernelCost gram_cost(const Dims& dims, int mode, const std::vector<int>& grid,
+                     bool symmetric) {
   PT_REQUIRE(dims.size() == grid.size(), "gram_cost: order mismatch");
   const double j = dprod(dims);
   const double p = grid_size(grid);
@@ -58,7 +59,12 @@ KernelCost gram_cost(const Dims& dims, int mode,
   const double phat = p / pn;
   const double jn = static_cast<double>(dims[static_cast<std::size_t>(mode)]);
   KernelCost cost;
-  cost.flops = 2.0 * jn * j / p;
+  // Full storage: 2 Jn J/P. The symmetric kernel computes only the lower
+  // triangle of the *diagonal* block (Jn(Jn+1)k locally, i.e. (Jn+1) J/P);
+  // the Pn-1 cross-Gram blocks of the ring are rectangular either way.
+  const double diag_flops = symmetric ? (jn + 1.0) * j / p : 2.0 * jn * j / p;
+  cost.flops = pn <= 1.0 ? diag_flops
+                         : (diag_flops + 2.0 * (pn - 1.0) * jn * j / p) / pn;
   // Ring shift of the local tensor (Pn-1 exchanges of J/P words) + the
   // all-reduce of the Jn x Jn/Pn block column across the processor row.
   cost.messages = 2.0 * (pn - 1.0) + 2.0 * log2_ceil(static_cast<int>(phat));
@@ -105,9 +111,17 @@ KernelCost tsqr_cost(const Dims& dims, int mode,
   return cost;
 }
 
+/// GramAlgo::Auto's kernel choice, from the shared dist predicate so the
+/// model and the runtime cannot drift apart.
+static bool auto_gram_symmetric(const std::vector<int>& grid, int mode) {
+  return dist::auto_gram_prefers_symmetric(
+      grid[static_cast<std::size_t>(mode)]);
+}
+
 bool prefer_tsqr(const Dims& dims, int mode, const std::vector<int>& grid,
                  const Machine& machine) {
-  KernelCost gram_route = gram_cost(dims, mode, grid);
+  KernelCost gram_route =
+      gram_cost(dims, mode, grid, auto_gram_symmetric(grid, mode));
   gram_route += evecs_cost(dims[static_cast<std::size_t>(mode)], mode, grid);
   return machine.seconds(tsqr_cost(dims, mode, grid)) <
          machine.seconds(gram_route);
@@ -122,7 +136,10 @@ KernelCost sthosvd_cost(const Dims& dims, const Dims& ranks,
   KernelCost total;
   for (int n : order) {
     const std::size_t un = static_cast<std::size_t>(n);
-    total += gram_cost(work, n, grid);
+    // Model the GramAlgo::Auto execution (symmetric kernel on short rings)
+    // so the benches' modeled GFLOPS match the counted flops of a default
+    // run.
+    total += gram_cost(work, n, grid, auto_gram_symmetric(grid, n));
     total += evecs_cost(work[un], n, grid);
     total += ttm_cost(work, ranks[un], n, grid);
     work[un] = ranks[un];
@@ -143,7 +160,7 @@ KernelCost hooi_sweep_cost(const Dims& dims, const Dims& ranks,
       total += ttm_cost(work, ranks[um], m, grid);
       work[um] = ranks[um];
     }
-    total += gram_cost(work, n, grid);
+    total += gram_cost(work, n, grid, auto_gram_symmetric(grid, n));
     total += evecs_cost(work[static_cast<std::size_t>(n)], n, grid);
     if (n == order - 1) {
       // Final core TTM (Alg. 2 line 9).

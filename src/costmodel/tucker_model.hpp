@@ -41,9 +41,15 @@ struct Machine {
 [[nodiscard]] KernelCost ttm_cost(const Dims& dims, std::size_t k, int mode,
                                   const std::vector<int>& grid);
 
-/// Cost of S = Y(n) Y(n)^T (paper C_GRAM).
+/// Cost of S = Y(n) Y(n)^T (paper C_GRAM). With symmetric = true the local
+/// diagonal-block kernel is the packed symmetry-exploiting syrk — (Jn+1)/2Jn
+/// of the full-storage flops (n(n+1)k vs 2n^2k), identical communication.
+/// Since the blas rework realizes that saving at full microkernel
+/// throughput, GramAlgo::Auto routes short rings through ExploitSymmetry
+/// (dist/gram.cpp); bench/ablate_gram_symmetry has the measurements.
 [[nodiscard]] KernelCost gram_cost(const Dims& dims, int mode,
-                                   const std::vector<int>& grid);
+                                   const std::vector<int>& grid,
+                                   bool symmetric = false);
 
 /// Cost of the leading-eigenvector computation (paper C_EIG; note the
 /// paper's beta term prints In where the all-gathered matrix actually has

@@ -42,7 +42,13 @@ GramColumns gram(const DistTensor& x, int mode, GramAlgo algo,
   const int c = grid.coord(mode);
 
   if (algo == GramAlgo::Auto) {
-    algo = pn > 2 ? GramAlgo::OverlappedRing : GramAlgo::FullStorage;
+    // See auto_gram_prefers_symmetric (shared with the cost model). The old
+    // Auto picked FullStorage on short rings because the NB-blocked
+    // syrk_lower was slower in wall-clock despite the flop saving; the
+    // packed kernel made ExploitSymmetry the faster route
+    // (bench/ablate_gram_symmetry).
+    algo = auto_gram_prefers_symmetric(pn) ? GramAlgo::ExploitSymmetry
+                                           : GramAlgo::OverlappedRing;
   }
 
   tensor::Matrix cols(jn, my_range.size());

@@ -16,11 +16,20 @@
 namespace ptucker::dist {
 
 enum class GramAlgo {
-  Auto,             ///< FullStorage for short rings, OverlappedRing otherwise
+  Auto,             ///< ExploitSymmetry for short rings, OverlappedRing else
   FullStorage,      ///< stepwise ring, both triangles computed (paper default)
-  ExploitSymmetry,  ///< symmetric kernel for the diagonal block (Sec. IX)
-  OverlappedRing,   ///< all ring sends posted up front (Sec. IX overlap item)
+  ExploitSymmetry,  ///< packed symmetric kernel for the diagonal block
+  OverlappedRing,   ///< windowed eager ring sends (Sec. IX overlap item)
 };
+
+/// The GramAlgo::Auto kernel policy, shared with the cost model so
+/// costmodel::sthosvd_cost / prefer_tsqr always model what the runtime
+/// executes: short rings are flop-bound and take the packed symmetric
+/// kernel; longer rings are communication-bound and take the overlapped
+/// full-storage schedule.
+[[nodiscard]] constexpr bool auto_gram_prefers_symmetric(int pn) {
+  return pn <= 2;
+}
 
 /// A rank's block column of the Gram matrix: cols is Jn x range.size(),
 /// holding columns [range.lo, range.hi) of the full Jn x Jn matrix.

@@ -24,11 +24,15 @@ void ttm_blocked(const DistTensor& x, const tensor::Matrix& m_cols, int mode,
   const int c = grid.coord(mode);
 
   tensor::Dims partial_dims = x.local().dims();
+  tensor::Tensor partial;  // reused across rounds: the batched local TTM
+                           // overwrites (beta = 0), so equal-sized blocks —
+                           // the common divisible-grid case — skip the
+                           // re-allocation and re-zeroing of J/P doubles
   for (int l = 0; l < pn; ++l) {
     const util::Range out_block = z.mode_range_of(mode, l);
     const tensor::Matrix m_block = m_cols.row_block(out_block);
     partial_dims[static_cast<std::size_t>(mode)] = out_block.size();
-    tensor::Tensor partial(partial_dims);
+    if (partial.dims() != partial_dims) partial = tensor::Tensor(partial_dims);
     tensor::local_ttm_into(x.local(), m_block, mode, partial);
     mps::reduce(col_comm, std::span<const double>(partial.span()),
                 c == l ? std::span<double>(z.local().span())

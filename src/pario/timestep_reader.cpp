@@ -8,7 +8,8 @@
 
 namespace ptucker::pario {
 
-TimestepReader::TimestepReader(std::string dir) : dir_(std::move(dir)) {
+TimestepReader::TimestepReader(std::string dir, std::size_t max_cached_files)
+    : dir_(std::move(dir)), max_cached_(std::max<std::size_t>(1, max_cached_files)) {
   namespace fs = std::filesystem;
   PT_REQUIRE(fs::is_directory(dir_),
              "TimestepReader: " << dir_ << " is not a directory");
@@ -22,22 +23,69 @@ TimestepReader::TimestepReader(std::string dir) : dir_(std::move(dir)) {
   PT_REQUIRE(!paths_.empty(),
              "TimestepReader: no .ptb/.ptt step files in " << dir_);
   std::sort(paths_.begin(), paths_.end());
+  // Validate every header once through the cache; after the scan the LRU
+  // holds the last max_cached_ steps, so a window starting anywhere else
+  // pays one re-open per step on first touch and zero afterwards.
   for (std::size_t t = 0; t < paths_.size(); ++t) {
-    const BlockFile file = BlockFile::open(paths_[t]);
+    const std::shared_ptr<const BlockFile> file = step_file(t);
     if (t == 0) {
-      step_dims_ = file.dims();
+      step_dims_ = file->dims();
     } else {
-      PT_REQUIRE(file.dims() == step_dims_,
+      PT_REQUIRE(file->dims() == step_dims_,
                  "TimestepReader: " << paths_[t]
                                     << " dims differ from the first step");
     }
   }
 }
 
+TimestepReader::~TimestepReader() = default;
+
+std::shared_ptr<const BlockFile> TimestepReader::step_file(
+    std::size_t t) const {
+  PT_REQUIRE(t < paths_.size(), "TimestepReader: step " << t
+                                                        << " out of range");
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto hit = cache_.find(t);
+    if (hit != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, hit->second);  // bump to front
+      return hit->second->second;
+    }
+  }
+  // Miss: open + parse with the lock dropped, so concurrent hits on other
+  // steps are not serialized behind this step's disk I/O. Another thread
+  // may race us to the same step; re-check before inserting and keep its
+  // entry (one redundant open, counted, then discarded).
+  auto file = std::make_shared<const BlockFile>(BlockFile::open(paths_[t]));
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++file_opens_;
+  const auto hit = cache_.find(t);
+  if (hit != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, hit->second);
+    return hit->second->second;
+  }
+  lru_.emplace_front(t, file);
+  cache_[t] = lru_.begin();
+  while (lru_.size() > max_cached_) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return file;
+}
+
+std::size_t TimestepReader::cached_files() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return lru_.size();
+}
+
+std::size_t TimestepReader::file_opens() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return file_opens_;
+}
+
 tensor::Tensor TimestepReader::read_step(
     std::size_t t, const std::vector<util::Range>& ranges) const {
-  PT_REQUIRE(t < paths_.size(), "read_step: step " << t << " out of range");
-  return BlockFile::open(paths_[t]).read_ranges(ranges);
+  return step_file(t)->read_ranges(ranges);
 }
 
 dist::DistTensor TimestepReader::read_window(

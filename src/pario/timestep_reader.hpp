@@ -10,15 +10,27 @@
 /// filename. All reads go through the chunked-container machinery, so each
 /// rank touches only the bytes of its own sub-block: the whole pipeline is
 /// communication-free.
+///
+/// Open descriptors and parsed headers are kept in a small per-reader LRU
+/// cache, so sliding a window over a thousand-step directory re-opens and
+/// re-parses each file once per pass instead of once per read. The bound
+/// keeps the fd footprint well under typical RLIMIT_NOFILE even with one
+/// reader per rank.
 
+#include <list>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include <mutex>
 
 #include "dist/dist_tensor.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ptucker::pario {
+
+class BlockFile;
 
 class TimestepReader {
  public:
@@ -26,7 +38,9 @@ class TimestepReader {
   /// filename, and validate that every header carries the same dims. The
   /// scan is deterministic, so SPMD ranks constructing a reader over the
   /// same directory agree on the step list with zero communication.
-  explicit TimestepReader(std::string dir);
+  /// \p max_cached_files bounds the open-fd/header LRU (>= 1).
+  explicit TimestepReader(std::string dir, std::size_t max_cached_files = 32);
+  ~TimestepReader();
 
   [[nodiscard]] std::size_t num_steps() const { return paths_.size(); }
   /// Dims of one step (the spatial x species tensor, no time mode).
@@ -47,10 +61,34 @@ class TimestepReader {
       std::shared_ptr<mps::CartGrid> grid, std::size_t first,
       std::size_t count) const;
 
+  /// Cache observability (tests and tuning): steps currently held open, and
+  /// the total number of open+parse operations performed so far. A fully
+  /// cached re-read leaves file_opens() unchanged.
+  [[nodiscard]] std::size_t cached_files() const;
+  [[nodiscard]] std::size_t file_opens() const;
+
  private:
+  /// Fetch step \p t through the LRU (opens + parses on miss, evicting the
+  /// least-recently-used entry at the bound). Thread-safe; the returned
+  /// handle stays valid after eviction (shared ownership) and its preads
+  /// need no lock.
+  [[nodiscard]] std::shared_ptr<const BlockFile> step_file(std::size_t t) const;
+
   std::string dir_;
   std::vector<std::string> paths_;
   tensor::Dims step_dims_;
+  std::size_t max_cached_ = 32;
+
+  mutable std::mutex cache_mutex_;
+  /// Front = most recently used.
+  mutable std::list<std::pair<std::size_t, std::shared_ptr<const BlockFile>>>
+      lru_;
+  mutable std::unordered_map<
+      std::size_t,
+      std::list<std::pair<std::size_t,
+                          std::shared_ptr<const BlockFile>>>::iterator>
+      cache_;
+  mutable std::size_t file_opens_ = 0;
 };
 
 }  // namespace ptucker::pario

@@ -309,5 +309,252 @@ TEST(Flops, SyrkLowerCountsAboutHalf) {
             0.75 * static_cast<double>(full_flops));
 }
 
+TEST(Flops, SyrkLowerCountsSymmetricModelExactly) {
+  // The symmetric kernel reports n(n+1)k — the lower triangle counted
+  // once — not the ~2n^2k its old internal gemm decomposition inherited,
+  // so sym-vs-full GF/s columns in the benches are comparable.
+  const std::size_t n = 37;
+  const std::size_t k = 19;
+  const auto a = random_buffer(n * k, 2);
+  std::vector<double> c(n * n, 0.0);
+  blas::reset_flop_count();
+  blas::syrk_lower(Trans::No, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  EXPECT_EQ(blas::flop_count(), n * (n + 1) * k);
+  blas::reset_flop_count();
+  const std::size_t batch = 5;
+  const auto ab = random_buffer(n * k * batch, 3);
+  blas::syrk_lower_batch_strided(Trans::Yes, n, k, 1.0, ab.data(), k, n * k,
+                                 0.0, c.data(), n, batch);
+  EXPECT_EQ(blas::flop_count(), n * (n + 1) * k * batch);
+}
+
+TEST(Flops, GemmBatchCountsAggregate) {
+  const std::size_t m = 6;
+  const std::size_t n = 7;
+  const std::size_t k = 8;
+  const std::size_t batch = 9;
+  const auto a = random_buffer(m * k * batch, 1);
+  const auto b = random_buffer(k * n, 2);
+  std::vector<double> c(m * n * batch, 0.0);
+  blas::reset_flop_count();
+  blas::gemm_batch_strided(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m,
+                           m * k, b.data(), k, 0, 0.0, c.data(), m, m * n,
+                           batch);
+  EXPECT_EQ(blas::flop_count(), 2ull * m * n * k * batch);
+}
+
+/// Oracle for gemm_batch_strided: loop ref_gemm over the items, honoring
+/// the stride_c == 0 fused-accumulation semantics.
+void ref_gemm_batch(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                    std::size_t k, double alpha, const std::vector<double>& a,
+                    std::size_t lda, std::size_t stride_a,
+                    const std::vector<double>& b, std::size_t ldb,
+                    std::size_t stride_b, double beta, std::vector<double>& c,
+                    std::size_t ldc, std::size_t stride_c, std::size_t batch) {
+  for (std::size_t r = 0; r < batch; ++r) {
+    std::vector<double> ar(a.begin() + static_cast<std::ptrdiff_t>(r * stride_a),
+                           a.end());
+    std::vector<double> br(b.begin() + static_cast<std::ptrdiff_t>(r * stride_b),
+                           b.end());
+    std::vector<double> cr(c.begin() + static_cast<std::ptrdiff_t>(r * stride_c),
+                           c.end());
+    const double beta_r = (stride_c == 0 && r > 0) ? 1.0 : beta;
+    ref_gemm(ta, tb, m, n, k, alpha, ar, lda, br, ldb, beta_r, cr, ldc);
+    std::copy(cr.begin(), cr.begin() + static_cast<std::ptrdiff_t>(m + (n - 1) * ldc),
+              c.begin() + static_cast<std::ptrdiff_t>(r * stride_c));
+  }
+}
+
+/// Parameter: (m, n, k, batch) with ragged sizes — none a multiple of the
+/// MR=4 / NR=8 / KC=256 blocking, plus KC-crossing contractions.
+class BatchShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchShapes,
+    ::testing::Values(std::make_tuple(5, 9, 7, 3), std::make_tuple(1, 1, 1, 4),
+                      std::make_tuple(33, 17, 29, 2),
+                      std::make_tuple(130, 3, 70, 3),
+                      std::make_tuple(12, 19, 260, 2),
+                      std::make_tuple(7, 30, 11, 1)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param)) + "k" +
+             std::to_string(std::get<2>(info.param)) + "b" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST_P(BatchShapes, StridedBatchMatchesPerItemLoop) {
+  const auto [mi, ni, ki, bi] = GetParam();
+  const std::size_t m = static_cast<std::size_t>(mi);
+  const std::size_t n = static_cast<std::size_t>(ni);
+  const std::size_t k = static_cast<std::size_t>(ki);
+  const std::size_t batch = static_cast<std::size_t>(bi);
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      for (double beta : {0.0, 1.0, 0.5}) {
+        const std::size_t lda = (ta == Trans::No) ? m : k;
+        const std::size_t ldb = (tb == Trans::No) ? k : n;
+        const std::size_t sa = lda * ((ta == Trans::No) ? k : m);
+        const std::size_t sb = ldb * ((tb == Trans::No) ? n : k);
+        const auto a = random_buffer(sa * batch, 11);
+        const auto b = random_buffer(sb * batch, 12);
+        // (a) per-item C, distinct B: general loop.
+        auto c = random_buffer(m * n * batch, 13);
+        auto c_ref = c;
+        blas::gemm_batch_strided(ta, tb, m, n, k, 1.3, a.data(), lda, sa,
+                                 b.data(), ldb, sb, beta, c.data(), m, m * n,
+                                 batch);
+        ref_gemm_batch(ta, tb, m, n, k, 1.3, a, lda, sa, b, ldb, sb, beta,
+                       c_ref, m, m * n, batch);
+        EXPECT_LT(testing::max_diff(c.data(), c_ref.data(), m * n * batch),
+                  1e-11);
+        // (b) shared B (stride_b == 0): the TTM shape.
+        auto c2 = random_buffer(m * n * batch, 14);
+        auto c2_ref = c2;
+        blas::gemm_batch_strided(ta, tb, m, n, k, 1.3, a.data(), lda, sa,
+                                 b.data(), ldb, 0, beta, c2.data(), m, m * n,
+                                 batch);
+        ref_gemm_batch(ta, tb, m, n, k, 1.3, a, lda, sa, b, ldb, 0, beta,
+                       c2_ref, m, m * n, batch);
+        EXPECT_LT(testing::max_diff(c2.data(), c2_ref.data(), m * n * batch),
+                  1e-11);
+        // (c) fused accumulation (stride_c == 0): the Gram shape. The fused
+        // KC loop must match the per-item loop *bit for bit* (clipped
+        // slabs), not just to tolerance.
+        auto c3 = random_buffer(m * n, 15);
+        auto c3_ref = c3;
+        blas::gemm_batch_strided(ta, tb, m, n, k, 1.3, a.data(), lda, sa,
+                                 b.data(), ldb, sb, beta, c3.data(), m, 0,
+                                 batch);
+        for (std::size_t r = 0; r < batch; ++r) {
+          blas::gemm(ta, tb, m, n, k, 1.3, a.data() + r * sa, lda,
+                     b.data() + r * sb, ldb, r == 0 ? beta : 1.0,
+                     c3_ref.data(), m);
+        }
+        EXPECT_EQ(testing::max_diff(c3.data(), c3_ref.data(), m * n), 0.0)
+            << "fused-k accumulation must be bit-equal to the slice loop";
+      }
+    }
+  }
+}
+
+/// Parameter: (n, k) ragged for the packed syrk — not multiples of MR, NR,
+/// or KC; includes MC- and KC-crossing sizes.
+class SyrkShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyrkShapes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 3),
+                      std::make_tuple(33, 29), std::make_tuple(40, 21),
+                      std::make_tuple(129, 257), std::make_tuple(7, 300),
+                      std::make_tuple(150, 70)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(SyrkShapes, PackedLowerMatchesReferenceAndLeavesUpperUntouched) {
+  const auto [ni, ki] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(ni);
+  const std::size_t k = static_cast<std::size_t>(ki);
+  for (Trans trans : {Trans::No, Trans::Yes}) {
+    for (double beta : {0.0, 1.0, 0.5}) {
+      const std::size_t lda = (trans == Trans::No) ? n : k;
+      const auto a = random_buffer(n * k, 21);
+      auto c = random_buffer(n * n, 22);
+      auto c_ref = c;
+      blas::syrk_lower(trans, n, k, 1.7, a.data(), lda, beta, c.data(), n);
+      // Reference: full gemm, then merge — lower triangle from the gemm,
+      // upper row-major entries must still hold the original C values.
+      std::vector<double> full = c_ref;
+      if (trans == Trans::No) {
+        ref_gemm(Trans::No, Trans::Yes, n, n, k, 1.7, a, lda, a, lda, beta,
+                 full, n);
+      } else {
+        ref_gemm(Trans::Yes, Trans::No, n, n, k, 1.7, a, lda, a, lda, beta,
+                 full, n);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double expected = (i >= j) ? full[i + j * n]
+                                           : c_ref[i + j * n];
+          EXPECT_NEAR(c[i + j * n], expected, 1e-11)
+              << "i=" << i << " j=" << j << " trans=" << static_cast<int>(trans)
+              << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SyrkShapes, BatchedLowerBitEqualsSliceLoop) {
+  const auto [ni, ki] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(ni);
+  const std::size_t k = static_cast<std::size_t>(ki);
+  const std::size_t batch = 3;
+  for (Trans trans : {Trans::No, Trans::Yes}) {
+    const std::size_t lda = (trans == Trans::No) ? n : k;
+    const std::size_t stride = n * k;
+    const auto a = random_buffer(stride * batch, 31);
+    auto c = random_buffer(n * n, 32);
+    auto c_ref = c;
+    blas::syrk_lower_batch_strided(trans, n, k, 1.0, a.data(), lda, stride,
+                                   0.0, c.data(), n, batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      blas::syrk_lower(trans, n, k, 1.0, a.data() + r * stride, lda,
+                       r == 0 ? 0.0 : 1.0, c_ref.data(), n);
+    }
+    EXPECT_EQ(testing::max_diff(c.data(), c_ref.data(), n * n), 0.0);
+  }
+}
+
+TEST(Syrk, SymmetrizeFromLowerTiledMatchesNaive) {
+  // Sizes around and beyond the TB=64 tile, plus a padded ldc.
+  for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{65}, std::size_t{200}}) {
+    const std::size_t ldc = n + 3;
+    auto c = random_buffer(ldc * n, 41);
+    auto naive = c;
+    blas::symmetrize_from_lower(n, c.data(), ldc);
+    for (std::size_t j = 1; j < n; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        naive[j * ldc + i] = naive[i * ldc + j];
+      }
+    }
+    EXPECT_EQ(testing::max_diff(c.data(), naive.data(), ldc * n), 0.0)
+        << "n=" << n;
+  }
+}
+
+TEST(GemmThreads, BatchedPathsMatchAcrossThreadCounts) {
+  // The batched entry points must be bit-deterministic in the thread count,
+  // exactly like plain gemm: tile ownership moves, arithmetic does not.
+  const std::size_t m = 64;
+  const std::size_t n = 30;
+  const std::size_t k = 64;
+  const std::size_t batch = 32;  // aggregate flops cross the 4e6 threshold
+                                 // for the gemm AND the (halved) syrk model
+  const auto a = random_buffer(m * k * batch, 51);
+  const auto b = random_buffer(k * n, 52);
+  std::vector<double> c1(m * n * batch);
+  std::vector<double> c4(m * n * batch);
+  std::vector<double> g1(m * m);
+  std::vector<double> g4(m * m);
+  for (int threads : {1, 4}) {
+    blas::set_gemm_threads(threads);
+    auto& c = threads == 1 ? c1 : c4;
+    auto& g = threads == 1 ? g1 : g4;
+    blas::gemm_batch_strided(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m,
+                             m * k, b.data(), k, 0, 0.0, c.data(), m, m * n,
+                             batch);
+    blas::syrk_lower_batch_strided(Trans::Yes, m, k, 1.0, a.data(), k, m * k,
+                                   0.0, g.data(), m, batch);
+  }
+  blas::set_gemm_threads(1);
+  EXPECT_EQ(testing::max_diff(c1.data(), c4.data(), m * n * batch), 0.0);
+  EXPECT_EQ(testing::max_diff(g1.data(), g4.data(), m * m), 0.0);
+}
+
 }  // namespace
 }  // namespace ptucker

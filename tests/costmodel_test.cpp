@@ -120,17 +120,40 @@ TEST(TuckerModel, TtmWordVolumeMatchesBlockedImplementation) {
 TEST(TuckerModel, SthosvdCostAccumulatesShrinkingDims) {
   const Dims dims{100, 100, 100};
   const Dims ranks{10, 10, 10};
-  const std::vector<int> grid{1, 2, 2};
+  // Uniform extents per mode: sthosvd_cost models GramAlgo::Auto, whose
+  // symmetric-kernel saving applies only to the 1/Pn diagonal block, so
+  // order invariance needs pn equal across modes as well as equal dims.
+  const std::vector<int> grid{2, 2, 2};
   const std::vector<int> natural{0, 1, 2};
   const auto total = costmodel::sthosvd_cost(dims, ranks, grid, natural);
-  // First-mode Gram dominates: 2 * I1 * I^3 / P.
-  const double first_gram = 2.0 * 100.0 * 1e6 / 4.0;
+  // First-mode Gram dominates. Auto runs the symmetric kernel on the
+  // diagonal block (Pn = 2 ring): ((I1+1) + 2*I1) / 2 * I^3 / P flops.
+  const double first_gram = (3.0 * 100.0 + 1.0) / 2.0 * 1e6 / 8.0;
   EXPECT_GT(total.flops, first_gram);
   // Processing order matters: large-dims-last is cheaper than worst order.
   const auto reversed =
       costmodel::sthosvd_cost(dims, ranks, grid, {2, 1, 0});
   EXPECT_NEAR(total.flops, reversed.flops, 1e-6 * total.flops)
-      << "symmetric dims: order should not matter";
+      << "symmetric dims and grid: order should not matter";
+}
+
+TEST(TuckerModel, SymmetricGramCostHalvesDiagonalFlops) {
+  const Dims dims{128, 64, 64};
+  // Pn = 1: the whole Gram is the diagonal block — (Jn+1)/2Jn of full.
+  const std::vector<int> serial{1, 2, 2};
+  const auto full = costmodel::gram_cost(dims, 0, serial, false);
+  const auto sym = costmodel::gram_cost(dims, 0, serial, true);
+  EXPECT_DOUBLE_EQ(full.flops, 2.0 * 128.0 * 128.0 * 64.0 * 64.0 / 4.0);
+  EXPECT_DOUBLE_EQ(sym.flops, 129.0 * 128.0 * 64.0 * 64.0 / 4.0);
+  EXPECT_DOUBLE_EQ(sym.words, full.words);
+  EXPECT_DOUBLE_EQ(sym.messages, full.messages);
+  // Pn = 2: only the diagonal block is symmetric — saving shrinks to 3/4
+  // of full (up to the +1 lower-order term).
+  const std::vector<int> ring{2, 2, 1};
+  const auto full2 = costmodel::gram_cost(dims, 0, ring, false);
+  const auto sym2 = costmodel::gram_cost(dims, 0, ring, true);
+  EXPECT_LT(sym2.flops, 0.77 * full2.flops);
+  EXPECT_GT(sym2.flops, 0.73 * full2.flops);
 }
 
 TEST(TuckerModel, OrderChangesCostForAsymmetricDims) {
@@ -220,8 +243,12 @@ TEST(TuckerModel, TsqrCostEncodesTheRouteTradeoff) {
   // The Auto predicate flips with the unfolding's aspect ratio: tiny
   // latency-bound problems stay on Gram, tall-skinny bandwidth-bound ones
   // switch to TSQR, fat unfoldings pay the Jn^3 tree and stay on Gram.
+  // Note the Gram route is modeled with the packed symmetric kernel where
+  // GramAlgo::Auto runs it, so borderline tall cases (e.g. Jn = 16 here)
+  // now stay on Gram — TSQR's QR flops are not halved by symmetry. The
+  // decisively skinny unfolding still switches.
   EXPECT_FALSE(costmodel::prefer_tsqr(Dims{16, 8, 8}, 0, grid));
-  EXPECT_TRUE(costmodel::prefer_tsqr(tall, 0, grid));
+  EXPECT_TRUE(costmodel::prefer_tsqr(Dims{4, 512, 512}, 0, grid));
   EXPECT_FALSE(costmodel::prefer_tsqr(Dims{512, 16, 512}, 0, grid));
 }
 

@@ -136,6 +136,58 @@ TEST(TimestepReader, WindowFeedsSthosvd) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(TimestepReader, FdCacheIsLruBounded) {
+  const Dims dims{4, 3, 2};
+  const std::size_t steps = 10;
+  const std::string dir = make_step_dir("ptucker_steps_lru", dims, steps);
+  const pario::TimestepReader reader(dir, /*max_cached_files=*/4);
+  // The constructor validated every header exactly once, keeping the last 4.
+  EXPECT_EQ(reader.file_opens(), steps);
+  EXPECT_EQ(reader.cached_files(), 4u);
+
+  std::vector<util::Range> all(dims.size());
+  for (std::size_t n = 0; n < dims.size(); ++n) all[n] = {0, dims[n]};
+  // Steps 6..9 are cached from the scan: re-reading them opens nothing.
+  for (std::size_t t = 6; t < steps; ++t) (void)reader.read_step(t, all);
+  EXPECT_EQ(reader.file_opens(), steps);
+  // Step 0 was evicted: one new open, still bounded.
+  (void)reader.read_step(0, all);
+  EXPECT_EQ(reader.file_opens(), steps + 1);
+  EXPECT_EQ(reader.cached_files(), 4u);
+  // Repeated passes over a window within the bound stay fully cached.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t t = 0; t < 4; ++t) (void)reader.read_step(t, all);
+  }
+  EXPECT_EQ(reader.file_opens(), steps + 1 + 3);  // steps 1..3 once each
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, CachedWindowReadsReopenNothing) {
+  const Dims dims{6, 4, 2};
+  const std::string dir = make_step_dir("ptucker_steps_lru_win", dims, 6);
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1, 1});
+    const pario::TimestepReader reader(dir);  // default bound covers 6 steps
+    const std::size_t after_scan = reader.file_opens();
+    EXPECT_EQ(after_scan, 6u);
+    const DistTensor w1 = reader.read_window(grid, 0, 3);
+    const DistTensor w2 = reader.read_window(grid, 2, 4);
+    EXPECT_EQ(reader.file_opens(), after_scan)
+        << "sliding a window over scanned steps must not re-open files";
+    // The data still matches the oracle after cache hits.
+    (void)w1;
+    const Tensor g = w2.gather(0);
+    if (comm.rank() == 0) {
+      Tensor expected(g.dims());
+      expected.fill_from([&](std::span<const std::size_t> idx) {
+        return step_value(idx.subspan(0, 3), 2 + idx[3]);
+      });
+      EXPECT_EQ(testing::max_diff(g, expected), 0.0);
+    }
+  });
+  std::filesystem::remove_all(dir);
+}
+
 TEST(TimestepReader, RejectsMixedDimsAndEmptyDirs) {
   namespace fs = std::filesystem;
   const std::string dir =
