@@ -5,24 +5,28 @@
 ///
 /// Phase 1 ("the simulation") writes each step as a chunked PTB1 file —
 /// every rank pwrites its own spatial block. Phase 2 streams windows of
-/// steps back through pario::TimestepReader (every rank preads its own
-/// sub-blocks), normalizes per species, and archives one PTZ1 model per
-/// window. The only inter-rank traffic on the whole IO path is barriers.
+/// steps back through core::StreamingCompressor (every rank preads its own
+/// sub-blocks), normalizes per species, and appends every window's model to
+/// ONE PTA1 archive — a single container covering the whole run, from which
+/// tensor_reconstruct_tool --steps a:b reconstructs arbitrary time ranges.
+/// The only inter-rank traffic on the whole IO path is barriers.
 ///
 ///   ./streaming_compress --ranks 4 --steps 12 --window 4 --eps 1e-3
+///   ./streaming_compress --ranks 4 --steps 12 --window 0   # cost model
+///
+/// --window 0 lets the cost model pick the window size; --no_normalize
+/// skips the per-species normalization (then the archived models
+/// reconstruct the raw field and --check_eps comparisons are exact).
 
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <numbers>
 
-#include "core/st_hosvd.hpp"
-#include "data/normalize.hpp"
+#include "core/streaming.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
 #include "pario/block_file.hpp"
-#include "pario/model_io.hpp"
-#include "pario/timestep_reader.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -50,14 +54,19 @@ double field_at(std::span<const std::size_t> idx, std::size_t dim,
 
 int main(int argc, char** argv) {
   util::ArgParser args("streaming_compress",
-                       "compress a simulation timestep-by-timestep");
+                       "compress a simulation timestep-by-timestep into one "
+                       "PTA1 archive");
   args.add_int("ranks", 4, "number of (thread) ranks");
   args.add_int("dim", 32, "spatial extent (dim x dim grid)");
   args.add_int("species", 8, "number of species");
   args.add_int("steps", 12, "number of timesteps to 'simulate'");
-  args.add_int("window", 4, "timesteps compressed together");
+  args.add_int("window", 4,
+               "timesteps compressed together (0 = cost-model choice)");
   args.add_double("eps", 1e-3, "max normalized RMS error per window");
   args.add_string("dir", "", "timestep directory (default: tmp)");
+  args.add_string("archive", "",
+                  "output PTA1 archive (default: <dir>/models.pta)");
+  args.add_flag("no_normalize", "skip the per-species normalization");
   args.parse(argc, argv);
 
   const int p = static_cast<int>(args.get_int("ranks"));
@@ -67,13 +76,14 @@ int main(int argc, char** argv) {
   const std::size_t steps = static_cast<std::size_t>(args.get_int("steps"));
   const std::size_t window =
       static_cast<std::size_t>(args.get_int("window"));
-  PT_REQUIRE(window >= 1 && window <= steps,
-             "--window must be in [1, steps]");
+  PT_REQUIRE(window <= steps, "--window must be in [0, steps]");
   std::string dir = args.get_string("dir");
   if (dir.empty()) {
     dir = (std::filesystem::temp_directory_path() / "ptucker_steps").string();
   }
   std::filesystem::create_directories(dir);
+  std::string archive = args.get_string("archive");
+  if (archive.empty()) archive = dir + "/models.pta";
 
   const tensor::Dims step_dims{dim, dim, species};
 
@@ -94,39 +104,40 @@ int main(int argc, char** argv) {
     }
     const double dump_s = dump_timer.seconds();
 
-    // Phase 2: stream windows back and compress each as it "arrives".
-    std::vector<int> shape = dist::default_grid_shape(p, step_dims);
-    shape.push_back(1);  // time mode: undistributed within a window
-    auto grid = dist::make_grid(comm, shape);
+    // Phase 2: stream windows back and append each model to the archive.
+    core::StreamingOptions opts;
+    opts.sthosvd.epsilon = args.get_double("eps");
+    opts.window = window;
+    opts.species_mode = args.get_flag("no_normalize") ? -1 : 2;
+    core::StreamingCompressor compressor(comm, dir, archive, opts);
 
-    const pario::TimestepReader reader(dir);
     if (comm.rank() == 0) {
-      std::printf("streamed %zu steps of", reader.num_steps());
-      for (std::size_t d : reader.step_dims()) std::printf(" %zu", d);
-      std::printf(" (dumped in %.2fs)\n", dump_s);
+      std::printf("streaming %zu steps of", compressor.num_steps());
+      for (std::size_t d : compressor.reader().step_dims()) {
+        std::printf(" %zu", d);
+      }
+      std::printf(" (dumped in %.2fs), window %zu%s -> %s\n", dump_s,
+                  compressor.window(),
+                  window == 0 ? " (cost model)" : "", archive.c_str());
     }
 
-    for (std::size_t first = 0; first < steps; first += window) {
-      // The last window may be short; compress it anyway so no timestep of
-      // the run is ever dropped.
-      const std::size_t count = std::min(window, steps - first);
-      util::Timer timer;
-      dist::DistTensor x = reader.read_window(grid, first, count);
-      const auto stats = data::normalize_species(x, 2);
-      core::SthosvdOptions opts;
-      opts.epsilon = args.get_double("eps");
-      const auto result = core::st_hosvd(x, opts);
-      char name[48];
-      std::snprintf(name, sizeof(name), "window_%04zu.ptz", first);
-      pario::write_model(
-          dir + "/" + name, result.tucker.core,
-          std::span<const tensor::Matrix>(result.tucker.factors), &stats);
+    core::StreamingCompressor::WindowResult r;
+    while (compressor.compress_next(&r)) {
       if (comm.rank() == 0) {
         std::printf(
             "  window [%3zu, %3zu): ratio %6.1fx, bound %.2e, %.2fs\n",
-            first, first + count, result.tucker.compression_ratio(),
-            result.error_bound, timer.seconds());
+            r.step_first, r.step_first + r.step_count, r.compression_ratio,
+            r.error_bound, r.seconds);
       }
+    }
+    if (comm.rank() == 0) {
+      const pario::ArchiveReader reader(archive);
+      std::printf(
+          "archived %zu models covering steps [0, %llu) in one PTA1 "
+          "container (%zu-slot table)\n",
+          reader.entry_count(),
+          static_cast<unsigned long long>(reader.step_end()),
+          reader.entry_capacity());
     }
   });
   return 0;

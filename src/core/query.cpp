@@ -26,17 +26,28 @@ CompressedQuery::CompressedQuery(Tensor core, std::vector<Matrix> factors)
   }
 }
 
+void CompressedQuery::check_index(std::span<const std::size_t> index) const {
+  PT_REQUIRE(index.size() == factors_.size(),
+             "query: index has " << index.size() << " components, model has "
+                                 << factors_.size() << " modes");
+  // Every component is validated — including the one a fiber query ignores
+  // — so an out-of-range index never silently "works" depending on which
+  // query consumed it.
+  for (std::size_t n = 0; n < index.size(); ++n) {
+    PT_REQUIRE(index[n] < data_dims_[n],
+               "query: index " << index[n] << " out of range in mode " << n
+                               << " (extent " << data_dims_[n] << ")");
+  }
+}
+
 Tensor CompressedQuery::contract_rows(std::span<const std::size_t> index,
                                       int skip_mode) const {
-  PT_REQUIRE(index.size() == factors_.size(), "query: index order mismatch");
   Tensor y = core_;
   // Contract the largest ranks first so intermediates shrink fastest; each
   // step multiplies by a 1 x Rn matrix (a factor row).
   for (int n = 0; n < static_cast<int>(factors_.size()); ++n) {
     if (n == skip_mode) continue;
     const std::size_t un = static_cast<std::size_t>(n);
-    PT_REQUIRE(index[un] < data_dims_[un],
-               "query: index out of range in mode " << n);
     Matrix row(1, factors_[un].cols());
     for (std::size_t j = 0; j < row.cols(); ++j) {
       row(0, j) = factors_[un](index[un], j);
@@ -47,6 +58,7 @@ Tensor CompressedQuery::contract_rows(std::span<const std::size_t> index,
 }
 
 double CompressedQuery::element(std::span<const std::size_t> index) const {
+  check_index(index);
   const Tensor contracted = contract_rows(index, /*skip_mode=*/-1);
   PT_CHECK(contracted.size() == 1, "query: element contraction not scalar");
   return contracted[0];
@@ -55,7 +67,9 @@ double CompressedQuery::element(std::span<const std::size_t> index) const {
 std::vector<double> CompressedQuery::fiber(
     int mode, std::span<const std::size_t> index) const {
   PT_REQUIRE(mode >= 0 && mode < static_cast<int>(factors_.size()),
-             "query: fiber mode out of range");
+             "query: fiber mode " << mode << " out of range (order "
+                                  << factors_.size() << ")");
+  check_index(index);
   const Tensor contracted = contract_rows(index, mode);
   // contracted has extent R_mode in `mode` and 1 elsewhere; multiply by the
   // full factor to expand to the data extent.

@@ -24,11 +24,15 @@ class CompressedQuery {
 
   [[nodiscard]] const Dims& data_dims() const { return data_dims_; }
 
-  /// X̃(i1, ..., iN): one element, O(prod Rn) flops.
+  /// X̃(i1, ..., iN): one element, O(prod Rn) flops. Throws
+  /// InvalidArgument on a wrong index arity or any out-of-range component.
   [[nodiscard]] double element(std::span<const std::size_t> index) const;
 
   /// The mode-n fiber through \p index: values for all in in [0, In) with
-  /// the other indices fixed. O(prod Rn * In) flops.
+  /// the other indices fixed. O(prod Rn * In) flops. Throws
+  /// InvalidArgument on an out-of-range \p mode, a wrong index arity, or
+  /// any out-of-range component (including index[mode], which the fiber
+  /// itself ignores — callers passing garbage there are buggy).
   [[nodiscard]] std::vector<double> fiber(int mode,
                                           std::span<const std::size_t> index)
       const;
@@ -37,6 +41,10 @@ class CompressedQuery {
   Tensor core_;
   std::vector<Matrix> factors_;
   Dims data_dims_;
+
+  /// Validate arity and every component of \p index; throws
+  /// InvalidArgument.
+  void check_index(std::span<const std::size_t> index) const;
 
   /// Contract the core with one factor row per mode in `skip`-aware order;
   /// returns the remaining tensor (used by both queries).

@@ -27,6 +27,13 @@ NormalizationStats normalize_species(dist::DistTensor& x, int species_mode);
 /// Inverse transform (for reconstructing physical values).
 void denormalize_species(dist::DistTensor& x, const NormalizationStats& stats);
 
+/// Inverse transform for a tensor whose species mode covers only the global
+/// species indices [species_lo, species_lo + extent) of \p stats — a sliced
+/// partial reconstruction (the streaming query path).
+void denormalize_species_range(dist::DistTensor& x,
+                               const NormalizationStats& stats,
+                               std::size_t species_lo);
+
 /// Sequential variants for tests and small runs.
 NormalizationStats normalize_species_seq(tensor::Tensor& x, int species_mode);
 void denormalize_species_seq(tensor::Tensor& x,

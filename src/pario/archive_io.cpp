@@ -1,0 +1,285 @@
+#include "pario/archive_io.hpp"
+
+#include <cstring>
+
+#include "pario/layout.hpp"
+
+namespace ptucker::pario {
+
+namespace {
+constexpr char kMagicArchive[4] = {'P', 'T', 'A', '1'};
+constexpr std::uint64_t kVersion = 1;
+
+/// Bytes of one entry-table slot: step_first, step_count, eps, byte_offset,
+/// byte_count (eps is an f64, same width).
+constexpr std::uint64_t kSlotBytes = 5 * sizeof(std::uint64_t);
+
+/// Ceiling on the table capacity a header may claim (a 2^20-slot table is
+/// 40 MiB — far beyond any realistic run, small enough to parse safely).
+constexpr std::uint64_t kMaxCapacity = 1ull << 20;
+
+/// Byte offset of the entry_count field (the commit point).
+std::uint64_t count_field_offset(std::size_t step_order) {
+  // magic + version + order + step_dims + species_mode + capacity
+  return 4 + sizeof(std::uint64_t) * (2 + step_order + 2);
+}
+
+std::uint64_t slot_offset(std::size_t step_order, std::size_t slot) {
+  return count_field_offset(step_order) + sizeof(std::uint64_t) +
+         slot * kSlotBytes;
+}
+
+std::uint64_t archive_header_bytes(std::size_t step_order,
+                                   std::uint64_t capacity) {
+  return slot_offset(step_order, capacity);
+}
+
+/// Minimal parsed header state shared by the reader and the appender. Both
+/// parse independently on every rank — the file is the only coordination.
+struct ParsedArchive {
+  tensor::Dims step_dims;
+  std::uint64_t species_mode = kArchiveNoSpecies;
+  std::uint64_t capacity = 0;
+  std::vector<ArchiveEntry> entries;
+};
+
+ParsedArchive parse_archive(const File& file) {
+  detail::HeaderReader reader(file);
+  reader.expect_magic(kMagicArchive);
+  PT_REQUIRE(reader.u64() == kVersion,
+             "pario: unsupported PTA1 version in " << file.path());
+  const std::uint64_t order = reader.u64();
+  PT_REQUIRE(order >= 2 && order <= detail::kMaxOrder,
+             "pario: implausible model order " << order << " in "
+                                               << file.path());
+  const std::size_t step_order = static_cast<std::size_t>(order) - 1;
+  const auto dims64 = reader.u64s(step_order);
+  ParsedArchive a;
+  a.step_dims.assign(dims64.begin(), dims64.end());
+  std::uint64_t elements = 1;
+  for (std::size_t d : a.step_dims) {
+    const std::uint64_t factor = std::max<std::uint64_t>(d, 1);
+    PT_REQUIRE(d >= 1 && d <= detail::kMaxElements &&
+                   elements <= detail::kMaxElements / factor,
+               "pario: implausible step dims in " << file.path());
+    elements *= factor;
+  }
+  a.species_mode = reader.u64();
+  PT_REQUIRE(a.species_mode == kArchiveNoSpecies ||
+                 a.species_mode < step_order,
+             "pario: implausible species mode in " << file.path());
+  a.capacity = reader.u64();
+  PT_REQUIRE(a.capacity >= 1 && a.capacity <= kMaxCapacity,
+             "pario: implausible table capacity in " << file.path());
+  const std::uint64_t count = reader.u64();
+  PT_REQUIRE(count <= a.capacity,
+             "pario: entry count " << count << " exceeds capacity "
+                                   << a.capacity << " in " << file.path());
+  const std::uint64_t header_end =
+      archive_header_bytes(step_order, a.capacity);
+  PT_REQUIRE(file.size() >= header_end,
+             "pario: truncated PTA1 header in " << file.path());
+
+  // Validate every committed slot: blobs packed contiguously after the
+  // header, windows contiguous from step 0. Uncommitted slots are ignored
+  // (a crash mid-append may have left slot K written with count still K).
+  a.entries.resize(count);
+  std::uint64_t expect_offset = header_end;
+  std::uint64_t expect_step = 0;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    detail::HeaderReader slot(file, slot_offset(step_order, e));
+    ArchiveEntry& ent = a.entries[e];
+    ent.step_first = slot.u64();
+    ent.step_count = slot.u64();
+    std::uint64_t eps_bits = slot.u64();
+    std::memcpy(&ent.eps, &eps_bits, sizeof(double));
+    ent.byte_offset = slot.u64();
+    ent.byte_count = slot.u64();
+    PT_REQUIRE(ent.step_first == expect_step && ent.step_count >= 1,
+               "pario: entry " << e << " breaks the contiguous step order in "
+                               << file.path());
+    PT_REQUIRE(ent.byte_offset == expect_offset && ent.byte_count >= 1,
+               "pario: entry " << e << " breaks the packed blob layout in "
+                               << file.path());
+    const std::uint64_t end = util::checked_add(
+        ent.byte_offset, ent.byte_count, "pario: PTA1 entry end");
+    PT_REQUIRE(end <= file.size(),
+               "pario: entry " << e << " extends past the end of "
+                               << file.path()
+                               << " (truncated or corrupt archive)");
+    expect_offset = end;
+    expect_step = util::checked_add(ent.step_first, ent.step_count,
+                                    "pario: PTA1 step range");
+  }
+  return a;
+}
+
+}  // namespace
+
+bool is_pta1(const std::string& path) {
+  const File file = File::open_read(path);
+  if (file.size() < 4) return false;
+  char magic[4] = {};
+  file.read_at(0, magic, 4);
+  return std::memcmp(magic, kMagicArchive, 4) == 0;
+}
+
+void archive_create(const std::string& path, const mps::Comm& comm,
+                    const tensor::Dims& step_dims, int species_mode,
+                    std::size_t entry_capacity) {
+  PT_REQUIRE(!step_dims.empty() &&
+                 step_dims.size() + 1 <= detail::kMaxOrder,
+             "archive_create: implausible step order " << step_dims.size());
+  for (std::size_t d : step_dims) {
+    PT_REQUIRE(d >= 1, "archive_create: zero step dim");
+  }
+  PT_REQUIRE(species_mode < static_cast<int>(step_dims.size()),
+             "archive_create: species mode " << species_mode
+                                             << " out of step order");
+  PT_REQUIRE(entry_capacity >= 1 && entry_capacity <= kMaxCapacity,
+             "archive_create: implausible capacity " << entry_capacity);
+  if (comm.rank() == 0) {
+    detail::HeaderWriter w;
+    w.magic(kMagicArchive);
+    w.u64(kVersion);
+    w.u64(static_cast<std::uint64_t>(step_dims.size()) + 1);
+    for (std::size_t d : step_dims) w.u64(d);
+    w.u64(species_mode < 0 ? kArchiveNoSpecies
+                           : static_cast<std::uint64_t>(species_mode));
+    w.u64(static_cast<std::uint64_t>(entry_capacity));
+    w.u64(0);  // entry_count: nothing committed yet
+    File f = File::create(path);
+    f.write_at(0, w.bytes().data(), w.bytes().size());
+    // Size the file to the full header so every table slot exists and the
+    // first blob lands at a stable offset.
+    f.truncate(archive_header_bytes(step_dims.size(), entry_capacity));
+  }
+  comm.barrier();
+}
+
+void archive_append_model(const std::string& path, std::uint64_t step_first,
+                          double eps, const dist::DistTensor& core,
+                          std::span<const tensor::Matrix> factors,
+                          const data::NormalizationStats* stats) {
+  const mps::Comm& comm = core.comm();
+  ParsedArchive a;
+  {
+    const File file = File::open_read(path);
+    a = parse_archive(file);
+  }
+  const std::size_t step_order = a.step_dims.size();
+  PT_REQUIRE(factors.size() == step_order + 1,
+             "archive_append: model order " << factors.size()
+                                            << " != step order + 1");
+  for (std::size_t n = 0; n < step_order; ++n) {
+    PT_REQUIRE(factors[n].rows() == a.step_dims[n],
+               "archive_append: factor " << n << " rows "
+                                         << factors[n].rows()
+                                         << " != archive step dim "
+                                         << a.step_dims[n]);
+  }
+  const std::uint64_t step_count = factors[step_order].rows();
+  PT_REQUIRE(step_count >= 1, "archive_append: empty time window");
+  const std::uint64_t expect_step =
+      a.entries.empty() ? 0 : a.entries.back().step_end();
+  PT_REQUIRE(step_first == expect_step,
+             "archive_append: window starts at step "
+                 << step_first << " but the archive ends at step "
+                 << expect_step << " (windows must be contiguous)");
+  PT_REQUIRE(a.entries.size() < a.capacity,
+             "archive_append: table full (" << a.capacity
+                                            << " entries) in " << path);
+
+  // Placement: blobs are packed, so the new entry starts where the last
+  // one ends. Every rank derives this from the same committed header.
+  const std::uint64_t base =
+      a.entries.empty()
+          ? archive_header_bytes(step_order, a.capacity)
+          : a.entries.back().byte_offset + a.entries.back().byte_count;
+
+  // Payload: block-parallel, exactly like write_model (rank 0 writes the
+  // blob header and extends the file; every rank pwrites its core block).
+  const std::uint64_t blob_bytes =
+      write_model_at(path, base, /*create=*/false, core, factors, stats);
+
+  // Commit: rewrite only the fixed-size table tail — slot K, then the
+  // entry count. The payload is synced first so a committed entry always
+  // has its bytes; a crash before the count write leaves the previous
+  // entries untouched and this payload invisible.
+  if (comm.rank() == 0) {
+    const File f = File::open_write(path);
+    f.sync();
+    detail::HeaderWriter w;
+    w.u64(step_first);
+    w.u64(step_count);
+    std::uint64_t eps_bits = 0;
+    std::memcpy(&eps_bits, &eps, sizeof(double));
+    w.u64(eps_bits);
+    w.u64(base);
+    w.u64(blob_bytes);
+    f.write_at(slot_offset(step_order, a.entries.size()), w.bytes().data(),
+               w.bytes().size());
+    f.sync();
+    const std::uint64_t new_count = a.entries.size() + 1;
+    f.write_at(count_field_offset(step_order), &new_count,
+               sizeof(new_count));
+    f.sync();
+  }
+  comm.barrier();
+}
+
+ArchiveReader::ArchiveReader(const std::string& path)
+    : file_(File::open_read(path)) {
+  ParsedArchive a = parse_archive(file_);
+  step_dims_ = std::move(a.step_dims);
+  species_mode_ = a.species_mode;
+  capacity_ = static_cast<std::size_t>(a.capacity);
+  entries_ = std::move(a.entries);
+}
+
+int ArchiveReader::species_mode() const {
+  return species_mode_ == kArchiveNoSpecies
+             ? -1
+             : static_cast<int>(species_mode_);
+}
+
+std::vector<std::size_t> ArchiveReader::covering(std::uint64_t lo,
+                                                 std::uint64_t hi) const {
+  PT_REQUIRE(lo < hi, "archive: empty step range [" << lo << ", " << hi
+                                                    << ")");
+  PT_REQUIRE(hi <= step_end(),
+             "archive: step range [" << lo << ", " << hi
+                                     << ") beyond archived steps [0, "
+                                     << step_end() << ")");
+  std::vector<std::size_t> hits;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].step_first < hi && entries_[e].step_end() > lo) {
+      hits.push_back(e);
+    }
+  }
+  return hits;
+}
+
+ModelData ArchiveReader::read_entry(std::size_t e,
+                                    std::shared_ptr<mps::CartGrid> grid)
+    const {
+  const ArchiveEntry& ent = entry(e);
+  ModelData model = read_model_at(file_, ent.byte_offset,
+                                  ent.byte_offset + ent.byte_count,
+                                  std::move(grid));
+  // Defense in depth: the blob must actually be a model of this archive's
+  // shared shape.
+  PT_REQUIRE(model.factors.size() == step_dims_.size() + 1,
+             "archive: entry " << e << " order mismatch in " << file_.path());
+  for (std::size_t n = 0; n < step_dims_.size(); ++n) {
+    PT_REQUIRE(model.factors[n].rows() == step_dims_[n],
+               "archive: entry " << e << " spatial dims mismatch in "
+                                 << file_.path());
+  }
+  PT_REQUIRE(model.factors.back().rows() == ent.step_count,
+             "archive: entry " << e << " time extent mismatch in "
+                               << file_.path());
+  return model;
+}
+
+}  // namespace ptucker::pario

@@ -30,7 +30,8 @@ BlockFile BlockFile::open(const std::string& path) {
     for (int e : bf.grid_) ranks *= static_cast<std::uint64_t>(e);
     bf.offsets_ = reader.u64s(ranks);
     detail::validate_blocked_header("pario(PTB1)", bf.file_, bf.dims_,
-                                    bf.grid_, bf.offsets_, reader.pos());
+                                    bf.grid_, bf.offsets_, reader.pos(),
+                                    bf.file_.size());
   } else {
     // Legacy dense tensor file: one block covering everything.
     detail::HeaderReader treader(bf.file_);
@@ -44,7 +45,8 @@ BlockFile BlockFile::open(const std::string& path) {
     bf.grid_.assign(order, 1);
     bf.offsets_ = {treader.pos()};
     detail::validate_blocked_header("pario(PTT1)", bf.file_, bf.dims_,
-                                    bf.grid_, bf.offsets_, treader.pos());
+                                    bf.grid_, bf.offsets_, treader.pos(),
+                                    bf.file_.size());
   }
   return bf;
 }

@@ -41,7 +41,9 @@ std::vector<util::Range> block_ranges(const tensor::Dims& dims,
 std::uint64_t block_elements(const tensor::Dims& dims,
                              const std::vector<int>& grid, int b) {
   std::uint64_t count = 1;
-  for (const util::Range& r : block_ranges(dims, grid, b)) count *= r.size();
+  for (const util::Range& r : block_ranges(dims, grid, b)) {
+    count = util::checked_mul(count, r.size(), "pario: block_elements");
+  }
   return count;
 }
 
@@ -52,9 +54,10 @@ std::vector<std::uint64_t> block_offsets(const tensor::Dims& dims,
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(p) + 1);
   offsets[0] = base;
   for (int b = 0; b < p; ++b) {
-    offsets[static_cast<std::size_t>(b) + 1] =
-        offsets[static_cast<std::size_t>(b)] +
-        sizeof(double) * block_elements(dims, grid, b);
+    const std::uint64_t bytes = util::checked_mul(
+        sizeof(double), block_elements(dims, grid, b), "pario: block_offsets");
+    offsets[static_cast<std::size_t>(b) + 1] = util::checked_add(
+        offsets[static_cast<std::size_t>(b)], bytes, "pario: block_offsets");
   }
   return offsets;
 }
@@ -207,7 +210,7 @@ void validate_blocked_header(const char* what, const File& file,
                              const tensor::Dims& dims,
                              const std::vector<int>& grid,
                              const std::vector<std::uint64_t>& offsets,
-                             std::uint64_t header_end) {
+                             std::uint64_t header_end, std::uint64_t limit) {
   PT_REQUIRE(!dims.empty() && dims.size() <= kMaxOrder,
              what << ": implausible order " << dims.size() << " in "
                   << file.path());
@@ -232,13 +235,14 @@ void validate_blocked_header(const char* what, const File& file,
   }
   PT_REQUIRE(offsets.size() == ranks,
              what << ": offset table size mismatch in " << file.path());
-  const std::uint64_t file_size = file.size();
+  PT_REQUIRE(limit <= file.size(),
+             what << ": blob limit past the end of " << file.path());
   for (std::uint64_t b = 0; b < ranks; ++b) {
     const std::uint64_t bytes =
         sizeof(double) * block_elements(dims, grid, static_cast<int>(b));
     PT_REQUIRE(offsets[b] >= header_end &&
                    offsets[b] + bytes >= offsets[b] &&  // no wraparound
-                   offsets[b] + bytes <= file_size,
+                   offsets[b] + bytes <= limit,
                what << ": block " << b << " extends past the end of "
                     << file.path() << " (truncated or corrupt header)");
   }

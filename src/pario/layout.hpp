@@ -63,10 +63,13 @@ class HeaderWriter {
   std::vector<char> buf_;
 };
 
-/// Sequential positioned reader with bounds-checked primitives.
+/// Sequential positioned reader with bounds-checked primitives. \p start
+/// positions the reader at an arbitrary byte (a blob inside a container;
+/// 0 = whole-file headers).
 class HeaderReader {
  public:
-  explicit HeaderReader(const File& file) : file_(file) {}
+  explicit HeaderReader(const File& file, std::uint64_t start = 0)
+      : file_(file), pos_(start) {}
   /// Read 4 magic bytes without consuming unless they match; returns match.
   [[nodiscard]] bool try_magic(const char m[4]);
   void expect_magic(const char m[4]);
@@ -96,12 +99,15 @@ inline constexpr std::uint64_t kMaxElements = 1ull << 48;
                                                const File& file);
 
 /// Validate order/dims/grid fields parsed from a file and that every block's
-/// payload [offsets[b], offsets[b] + bytes) lies within the file. Throws
-/// InvalidArgument describing \p what on violation.
+/// payload [offsets[b], offsets[b] + bytes) lies within
+/// [header_end, limit). \p limit is the file size for whole-file containers,
+/// or the end of the enclosing blob for a model embedded in an archive (so a
+/// truncated *entry* is detected even when later bytes exist in the file).
+/// Throws InvalidArgument describing \p what on violation.
 void validate_blocked_header(const char* what, const File& file,
                              const tensor::Dims& dims,
                              const std::vector<int>& grid,
                              const std::vector<std::uint64_t>& offsets,
-                             std::uint64_t header_end);
+                             std::uint64_t header_end, std::uint64_t limit);
 
 }  // namespace ptucker::pario::detail

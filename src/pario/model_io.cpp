@@ -3,7 +3,6 @@
 #include <cstring>
 
 #include "pario/layout.hpp"
-#include "pario/posix_file.hpp"
 
 namespace ptucker::pario {
 
@@ -11,20 +10,35 @@ namespace {
 constexpr char kMagicModel[4] = {'P', 'T', 'Z', '1'};
 constexpr std::uint64_t kVersion = 1;
 
+/// Ceiling on the per-species stats count a header may claim; far above any
+/// real species extent, small enough that the payload math stays exact.
+constexpr std::uint64_t kMaxStatsCount = 1ull << 30;
+
 std::uint64_t stats_bytes(std::size_t count) {
   return count == 0 ? 0
-                    : sizeof(std::uint64_t) * 2 + sizeof(double) * 2 * count;
+                    : sizeof(std::uint64_t) * 2 +
+                          util::checked_mul(sizeof(double) * 2, count,
+                                            "pario: PTZ1 stats");
 }
 
 std::uint64_t header_bytes(std::size_t order, std::uint64_t ranks,
                            std::size_t stats_count) {
-  return 4 + sizeof(std::uint64_t) * (2 + 4 * order + 1 + ranks) +
-         stats_bytes(stats_count);
+  const std::uint64_t words = util::checked_add(
+      2 + 4 * order + 1, ranks, "pario: PTZ1 header");
+  return util::checked_add(
+      4 + util::checked_mul(sizeof(std::uint64_t), words,
+                            "pario: PTZ1 header"),
+      stats_bytes(stats_count), "pario: PTZ1 header");
 }
 
 std::uint64_t factor_bytes(std::span<const tensor::Matrix> factors) {
   std::uint64_t bytes = 0;
-  for (const tensor::Matrix& u : factors) bytes += sizeof(double) * u.size();
+  for (const tensor::Matrix& u : factors) {
+    bytes = util::checked_add(
+        bytes,
+        util::checked_mul(sizeof(double), u.size(), "pario: PTZ1 factors"),
+        "pario: PTZ1 factors");
+  }
   return bytes;
 }
 }  // namespace
@@ -34,8 +48,11 @@ std::uint64_t ptz1_file_bytes(const tensor::Dims& core_dims,
                               std::span<const tensor::Matrix> factors,
                               std::size_t stats_count) {
   const auto offsets = detail::block_offsets(core_dims, grid, 0);
-  return header_bytes(core_dims.size(), offsets.size() - 1, stats_count) +
-         factor_bytes(factors) + offsets.back();
+  return util::checked_add(
+      util::checked_add(
+          header_bytes(core_dims.size(), offsets.size() - 1, stats_count),
+          factor_bytes(factors), "pario: PTZ1 size"),
+      offsets.back(), "pario: PTZ1 size");
 }
 
 bool is_ptz1(const std::string& path) {
@@ -46,9 +63,10 @@ bool is_ptz1(const std::string& path) {
   return std::memcmp(magic, kMagicModel, 4) == 0;
 }
 
-void write_model(const std::string& path, const dist::DistTensor& core,
-                 std::span<const tensor::Matrix> factors,
-                 const data::NormalizationStats* stats) {
+std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
+                             bool create, const dist::DistTensor& core,
+                             std::span<const tensor::Matrix> factors,
+                             const data::NormalizationStats* stats) {
   const mps::Comm& comm = core.comm();
   const std::size_t order = core.global_dims().size();
   PT_REQUIRE(factors.size() == order,
@@ -61,9 +79,13 @@ void write_model(const std::string& path, const dist::DistTensor& core,
   const std::uint64_t ranks = static_cast<std::uint64_t>(comm.size());
   const std::uint64_t data_base = header_bytes(order, ranks, stats_count) +
                                   factor_bytes(factors);
+  // Offsets are blob-relative: base + offsets[b] is the absolute position.
   const auto offsets =
       detail::block_offsets(core.global_dims(), core.grid().shape(),
                             data_base);
+  const std::uint64_t blob_bytes = offsets.back();
+  const std::uint64_t end =
+      util::checked_add(base, blob_bytes, "pario: PTZ1 blob end");
 
   if (comm.rank() == 0) {
     detail::HeaderWriter w;
@@ -84,30 +106,40 @@ void write_model(const std::string& path, const dist::DistTensor& core,
     for (std::uint64_t b = 0; b < ranks; ++b) w.u64(offsets[b]);
     for (const tensor::Matrix& u : factors) w.f64s(u.data(), u.size());
     PT_CHECK(w.size() == data_base, "pario: PTZ1 header size mismatch");
-    File f = File::create(path);
-    f.write_at(0, w.bytes().data(), w.bytes().size());
-    f.truncate(offsets.back());
+    File f = create ? File::create(path) : File::open_write(path);
+    f.write_at(base, w.bytes().data(), w.bytes().size());
+    f.truncate(end);
   }
   comm.barrier();
   if (core.local().size() > 0) {
     const File f = File::open_write(path);
-    f.write_at(offsets[static_cast<std::size_t>(comm.rank())],
+    f.write_at(base + offsets[static_cast<std::size_t>(comm.rank())],
                core.local().data(), core.local().size() * sizeof(double));
   }
   comm.barrier();
+  return blob_bytes;
 }
 
-ModelData read_model(const std::string& path,
-                     std::shared_ptr<mps::CartGrid> grid) {
+void write_model(const std::string& path, const dist::DistTensor& core,
+                 std::span<const tensor::Matrix> factors,
+                 const data::NormalizationStats* stats) {
+  (void)write_model_at(path, 0, /*create=*/true, core, factors, stats);
+}
+
+ModelData read_model_at(const File& file, std::uint64_t base,
+                        std::uint64_t limit,
+                        std::shared_ptr<mps::CartGrid> grid) {
   PT_REQUIRE(grid != nullptr, "read_model: null grid");
-  const File file = File::open_read(path);
-  detail::HeaderReader reader(file);
+  PT_REQUIRE(base <= limit && limit <= file.size(),
+             "pario: PTZ1 blob bounds [" << base << ", " << limit
+                                         << ") outside " << file.path());
+  detail::HeaderReader reader(file, base);
   reader.expect_magic(kMagicModel);
   PT_REQUIRE(reader.u64() == kVersion,
-             "pario: unsupported PTZ1 version in " << path);
+             "pario: unsupported PTZ1 version in " << file.path());
   const std::uint64_t order = reader.u64();
   PT_REQUIRE(order >= 1 && order <= detail::kMaxOrder,
-             "pario: implausible order " << order << " in " << path);
+             "pario: implausible order " << order << " in " << file.path());
   PT_REQUIRE(static_cast<int>(order) == grid->order(),
              "read_model: file order " << order << " != grid order "
                                        << grid->order());
@@ -123,33 +155,59 @@ ModelData read_model(const std::string& path,
   ModelData model;
   model.has_stats = reader.u64() != 0;
   if (model.has_stats) {
-    model.stats.species_mode = static_cast<int>(reader.u64());
+    const std::uint64_t species_mode = reader.u64();
+    PT_REQUIRE(species_mode < order,
+               "pario: implausible stats species mode in " << file.path());
+    model.stats.species_mode = static_cast<int>(species_mode);
     const std::uint64_t count = reader.u64();
-    PT_REQUIRE(count <= (1u << 30), "pario: implausible stats count in "
-                                        << path);
+    // Validate the claimed count against the blob bytes actually present
+    // BEFORE resizing, so a truncated or hostile header throws instead of
+    // triggering a huge allocation or a short read mid-parse.
+    PT_REQUIRE(count <= kMaxStatsCount,
+               "pario: implausible stats count in " << file.path());
+    const std::uint64_t payload = 2 * sizeof(double) * count;
+    PT_REQUIRE(reader.pos() + payload <= limit,
+               "pario: stats record extends past the end of "
+                   << file.path() << " (truncated or hostile header)");
     model.stats.mean.resize(count);
     model.stats.stdev.resize(count);
     reader.f64s(model.stats.mean.data(), count);
     reader.f64s(model.stats.stdev.data(), count);
   }
-  const auto core_offsets = reader.u64s(ranks);
+  const auto core_offsets64 = reader.u64s(ranks);
+  PT_REQUIRE(reader.pos() <= limit,
+             "pario: PTZ1 header extends past the end of "
+                 << file.path() << " (truncated or hostile header)");
 
   // Factors: replicated, so every rank reads them straight from the file.
+  // Claimed shapes are cross-checked against the blob size before any
+  // Matrix is allocated.
   model.factors.reserve(order);
   std::uint64_t factor_pos = reader.pos();
   for (std::uint64_t n = 0; n < order; ++n) {
-    PT_REQUIRE(rows[n] <= (1u << 30) && cols[n] <= (1u << 30) &&
+    PT_REQUIRE(rows[n] <= (1ull << 30) && cols[n] <= (1ull << 30) &&
                    rows[n] * cols[n] <= detail::kMaxElements,
-               "pario: implausible factor shape in " << path);
+               "pario: implausible factor shape in " << file.path());
+    const std::uint64_t fbytes = sizeof(double) * rows[n] * cols[n];
+    PT_REQUIRE(factor_pos + fbytes <= limit,
+               "pario: factor " << n << " extends past the end of "
+                                << file.path()
+                                << " (truncated or hostile header)");
     tensor::Matrix u(rows[n], cols[n]);
     if (u.size() > 0) {
-      file.read_at(factor_pos, u.data(), u.size() * sizeof(double));
+      file.read_at(factor_pos, u.data(), fbytes);
     }
-    factor_pos += u.size() * sizeof(double);
+    factor_pos += fbytes;
     model.factors.push_back(std::move(u));
   }
+  // Shift the blob-relative core offsets to absolute file positions.
+  std::vector<std::uint64_t> core_offsets(core_offsets64.size());
+  for (std::size_t b = 0; b < core_offsets64.size(); ++b) {
+    core_offsets[b] =
+        util::checked_add(base, core_offsets64[b], "pario: PTZ1 core offset");
+  }
   detail::validate_blocked_header("pario(PTZ1)", file, core_dims, file_grid,
-                                  core_offsets, factor_pos);
+                                  core_offsets, factor_pos, limit);
 
   // Core: every rank preads its own block out of the writer's layout.
   model.core = dist::DistTensor(std::move(grid), core_dims);
@@ -162,6 +220,12 @@ ModelData read_model(const std::string& path,
         file, core_dims, file_grid, core_offsets, mine);
   }
   return model;
+}
+
+ModelData read_model(const std::string& path,
+                     std::shared_ptr<mps::CartGrid> grid) {
+  const File file = File::open_read(path);
+  return read_model_at(file, 0, file.size(), std::move(grid));
 }
 
 }  // namespace ptucker::pario

@@ -30,6 +30,7 @@
 
 #include "data/normalize.hpp"
 #include "dist/dist_tensor.hpp"
+#include "pario/posix_file.hpp"
 #include "tensor/matrix.hpp"
 
 namespace ptucker::pario {
@@ -52,6 +53,27 @@ void write_model(const std::string& path, const dist::DistTensor& core,
 /// Collective: load a PTZ1 file onto \p grid (any grid of matching order).
 [[nodiscard]] ModelData read_model(const std::string& path,
                                    std::shared_ptr<mps::CartGrid> grid);
+
+/// Collective: write the model as a PTZ1 blob starting at byte \p base of
+/// \p path. With \p create the file is created/truncated first (write_model
+/// is the base == 0 case); otherwise it must exist and is extended. The
+/// blob's internal offsets are blob-relative, so an entry extracted from an
+/// archive byte-for-byte is itself a valid PTZ1 file. Returns the blob byte
+/// count (identical on every rank, no communication needed to agree).
+std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
+                             bool create, const dist::DistTensor& core,
+                             std::span<const tensor::Matrix> factors,
+                             const data::NormalizationStats* stats = nullptr);
+
+/// Every-rank read of the PTZ1 blob at byte \p base of \p file onto \p grid
+/// (communication-free; each rank preads its own core block). \p limit is
+/// one past the last byte the blob may occupy — the file size for a
+/// standalone model, the committed entry end inside an archive. All
+/// header-claimed sizes are validated against \p limit before any
+/// allocation, so truncated or hostile headers throw InvalidArgument.
+[[nodiscard]] ModelData read_model_at(const File& file, std::uint64_t base,
+                                      std::uint64_t limit,
+                                      std::shared_ptr<mps::CartGrid> grid);
 
 /// True when the file at \p path starts with the PTZ1 magic.
 [[nodiscard]] bool is_ptz1(const std::string& path);

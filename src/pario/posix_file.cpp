@@ -94,6 +94,12 @@ void File::truncate(std::uint64_t length) const {
              "pario: ftruncate " << path_ << ": " << errno_text());
 }
 
+void File::sync() const {
+  PT_CHECK(valid(), "pario: sync on closed file");
+  PT_REQUIRE(::fsync(fd_) == 0,
+             "pario: fsync " << path_ << ": " << errno_text());
+}
+
 void File::close() {
   if (fd_ >= 0) {
     ::close(fd_);

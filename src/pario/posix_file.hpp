@@ -41,6 +41,11 @@ class File {
   /// its full size even when trailing blocks are empty).
   void truncate(std::uint64_t length) const;
 
+  /// Flush written data to stable storage (fsync). The archive appender
+  /// syncs the entry payload before committing the table so a crash between
+  /// the two never yields a committed-but-unwritten entry.
+  void sync() const;
+
   void close();
 
  private:

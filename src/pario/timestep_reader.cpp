@@ -1,5 +1,7 @@
 #include "pario/timestep_reader.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -40,34 +42,70 @@ TimestepReader::TimestepReader(std::string dir, std::size_t max_cached_files)
 
 TimestepReader::~TimestepReader() = default;
 
+namespace {
+
+/// stat result condensed to the fields the stale-cache check compares. The
+/// check is only as fine as the filesystem's mtime granularity: an
+/// in-place rewrite that keeps the size and lands within one timestamp
+/// tick of the cached parse is indistinguishable (replace-by-rename — the
+/// robust solver-side pattern — always changes the inode and is caught).
+detail::StepFileSig sig_of(const struct stat& st) {
+  return {static_cast<std::uint64_t>(st.st_dev),
+          static_cast<std::uint64_t>(st.st_ino),
+          static_cast<std::uint64_t>(st.st_size),
+          static_cast<std::int64_t>(st.st_mtim.tv_sec),
+          static_cast<std::int64_t>(st.st_mtim.tv_nsec)};
+}
+
+}  // namespace
+
 std::shared_ptr<const BlockFile> TimestepReader::step_file(
     std::size_t t) const {
   PT_REQUIRE(t < paths_.size(), "TimestepReader: step " << t
                                                         << " out of range");
+  // Revalidation stat happens before taking the lock, so concurrent hits
+  // are not serialized behind each other's filesystem metadata round-trip
+  // (the same reason the miss path opens with the lock dropped).
+  struct stat st {};
+  const bool alive = ::stat(paths_[t].c_str(), &st) == 0;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto hit = cache_.find(t);
     if (hit != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, hit->second);  // bump to front
-      return hit->second->second;
+      // Revalidate before serving: a step file rewritten (or replaced by
+      // rename) since it was parsed must not be read through the stale
+      // header — the in-situ case where the solver is still producing.
+      if (alive && sig_of(st) == hit->second->sig) {
+        lru_.splice(lru_.begin(), lru_, hit->second);  // bump to front
+        return hit->second->file;
+      }
+      lru_.erase(hit->second);  // stale: evict and fall through to re-open
+      cache_.erase(hit);
     }
   }
   // Miss: open + parse with the lock dropped, so concurrent hits on other
   // steps are not serialized behind this step's disk I/O. Another thread
   // may race us to the same step; re-check before inserting and keep its
   // entry (one redundant open, counted, then discarded).
+  PT_REQUIRE(alive, "TimestepReader: cannot stat " << paths_[t]);
+  const detail::StepFileSig sig = sig_of(st);
   auto file = std::make_shared<const BlockFile>(BlockFile::open(paths_[t]));
+  // Every step — at scan time and on any later re-open (a file rewritten
+  // under a live reader) — must match the dims of the first step.
+  PT_REQUIRE(step_dims_.empty() || file->dims() == step_dims_,
+             "TimestepReader: " << paths_[t]
+                                << " dims differ from the first step");
   std::lock_guard<std::mutex> lock(cache_mutex_);
   ++file_opens_;
   const auto hit = cache_.find(t);
   if (hit != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, hit->second);
-    return hit->second->second;
+    return hit->second->file;
   }
-  lru_.emplace_front(t, file);
+  lru_.push_front(CacheEntry{t, file, sig});
   cache_[t] = lru_.begin();
   while (lru_.size() > max_cached_) {
-    cache_.erase(lru_.back().first);
+    cache_.erase(lru_.back().step);
     lru_.pop_back();
   }
   return file;

@@ -16,7 +16,14 @@
 /// re-parses each file once per pass instead of once per read. The bound
 /// keeps the fd footprint well under typical RLIMIT_NOFILE even with one
 /// reader per rank.
+///
+/// Because the in-situ workflow reads step files while the solver is still
+/// producing (and possibly rewriting) them, every cache hit revalidates the
+/// file's identity and mtime/size against the filesystem: a step file that
+/// was overwritten, replaced, or grown since it was parsed is evicted and
+/// re-opened instead of being served from the stale header.
 
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <string>
@@ -31,6 +38,19 @@
 namespace ptucker::pario {
 
 class BlockFile;
+
+namespace detail {
+/// Filesystem identity + freshness of a step file at parse time; a
+/// mismatch on a later cache hit means the file changed under us.
+struct StepFileSig {
+  std::uint64_t dev = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t size = 0;
+  std::int64_t mtime_sec = 0;
+  std::int64_t mtime_nsec = 0;
+  bool operator==(const StepFileSig&) const = default;
+};
+}  // namespace detail
 
 class TimestepReader {
  public:
@@ -68,10 +88,17 @@ class TimestepReader {
   [[nodiscard]] std::size_t file_opens() const;
 
  private:
+  struct CacheEntry {
+    std::size_t step = 0;
+    std::shared_ptr<const BlockFile> file;
+    detail::StepFileSig sig;
+  };
+
   /// Fetch step \p t through the LRU (opens + parses on miss, evicting the
-  /// least-recently-used entry at the bound). Thread-safe; the returned
-  /// handle stays valid after eviction (shared ownership) and its preads
-  /// need no lock.
+  /// least-recently-used entry at the bound). A hit is revalidated against
+  /// the current stat of the path and treated as a miss when stale.
+  /// Thread-safe; the returned handle stays valid after eviction (shared
+  /// ownership) and its preads need no lock.
   [[nodiscard]] std::shared_ptr<const BlockFile> step_file(std::size_t t) const;
 
   std::string dir_;
@@ -81,12 +108,8 @@ class TimestepReader {
 
   mutable std::mutex cache_mutex_;
   /// Front = most recently used.
-  mutable std::list<std::pair<std::size_t, std::shared_ptr<const BlockFile>>>
-      lru_;
-  mutable std::unordered_map<
-      std::size_t,
-      std::list<std::pair<std::size_t,
-                          std::shared_ptr<const BlockFile>>>::iterator>
+  mutable std::list<CacheEntry> lru_;
+  mutable std::unordered_map<std::size_t, std::list<CacheEntry>::iterator>
       cache_;
   mutable std::size_t file_opens_ = 0;
 };

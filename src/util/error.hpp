@@ -6,6 +6,8 @@
 /// message-passing runtime can unwind cleanly: a throwing rank triggers a
 /// universe-wide abort that wakes every blocked rank.
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -41,6 +43,36 @@ namespace detail {
   throw InternalError(os.str());
 }
 }  // namespace detail
+
+namespace util {
+
+/// a * b with an overflow check: throws InvalidArgument naming \p what
+/// instead of silently wrapping. Used by the pario containers wherever a
+/// byte offset is derived from untrusted (or caller-supplied) dims, so a
+/// hostile header or an absurd shape fails loudly before any allocation or
+/// file arithmetic happens.
+[[nodiscard]] inline std::uint64_t checked_mul(std::uint64_t a,
+                                               std::uint64_t b,
+                                               const char* what) {
+  if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b) {
+    throw InvalidArgument(std::string(what) +
+                          ": u64 overflow in size/offset multiply");
+  }
+  return a * b;
+}
+
+/// a + b with the matching overflow check (offset accumulation).
+[[nodiscard]] inline std::uint64_t checked_add(std::uint64_t a,
+                                               std::uint64_t b,
+                                               const char* what) {
+  if (a > std::numeric_limits<std::uint64_t>::max() - b) {
+    throw InvalidArgument(std::string(what) +
+                          ": u64 overflow in size/offset add");
+  }
+  return a + b;
+}
+
+}  // namespace util
 
 }  // namespace ptucker
 

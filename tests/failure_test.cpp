@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "core/st_hosvd.hpp"
 #include "data/synthetic.hpp"
 #include "dist/grid.hpp"
+#include "pario/model_io.hpp"
 #include "test_utils.hpp"
 
 namespace ptucker {
@@ -142,6 +146,103 @@ TEST(Failure, MismatchedCollectiveParticipationIsDetected) {
     // rank 1 returns immediately.
   }),
                Error);
+}
+
+/// Write a small valid PTZ1 model and return its path (2 ranks, 2x1 grid).
+std::string write_small_ptz1(const char* name) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1});
+    const DistTensor x =
+        data::make_low_rank(grid, Dims{8, 6}, Dims{3, 2}, 21, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-8;
+    const auto model = core::st_hosvd(x, opts).tucker;
+    data::NormalizationStats stats;
+    stats.species_mode = 1;
+    stats.mean.assign(6, 1.0);
+    stats.stdev.assign(6, 2.0);
+    pario::write_model(path, model.core,
+                       std::span<const tensor::Matrix>(model.factors),
+                       &stats);
+  });
+  return path;
+}
+
+TEST(Failure, TruncatedPtz1Rejected) {
+  const std::string path = write_small_ptz1("ptucker_fail_trunc.ptz");
+  const auto full = std::filesystem::file_size(path);
+  // Cut into the core payload: the offset-table validation must reject it.
+  std::filesystem::resize_file(path, full - 24);
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1});
+    EXPECT_THROW((void)pario::read_model(path, grid), InvalidArgument);
+  });
+  // Cut into the factor payload: the claimed factor shapes no longer fit.
+  std::filesystem::resize_file(path, 200);
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1});
+    EXPECT_THROW((void)pario::read_model(path, grid), InvalidArgument);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(Failure, HostileStatsCountRejectedBeforeAllocation) {
+  const std::string path = write_small_ptz1("ptucker_fail_stats.ptz");
+  // The stats count field sits after magic(4) + u64 * (version, order,
+  // 2 core dims, 2 grid, 2 rows, 2 cols, has_stats, species_mode) = 4+8*12.
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t absurd = 1ull << 29;  // passes the 2^30 cap...
+    fs.seekp(4 + 8 * 12);
+    fs.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  // ...but claims ~8 GiB of stats payload the file does not have: must
+  // throw InvalidArgument before any resize, not bad_alloc or a short read.
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1});
+    EXPECT_THROW((void)pario::read_model(path, grid), InvalidArgument);
+  });
+  // An outright implausible count (> 2^30) is rejected by the cap itself.
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t absurd = 1ull << 40;
+    fs.seekp(4 + 8 * 12);
+    fs.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1});
+    EXPECT_THROW((void)pario::read_model(path, grid), InvalidArgument);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(Failure, HostileFactorShapeRejectedBeforeAllocation) {
+  const std::string path = write_small_ptz1("ptucker_fail_factor.ptz");
+  // factor_rows[0] sits after magic(4) + u64 * (version, order, 2 core
+  // dims, 2 grid) = 4 + 8 * 6. Claim in-bounds-looking rows whose payload
+  // vastly exceeds the file.
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t absurd = 1ull << 28;
+    fs.seekp(4 + 8 * 6);
+    fs.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1});
+    EXPECT_THROW((void)pario::read_model(path, grid), InvalidArgument);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(Failure, OverflowingOffsetMathThrowsCleanly) {
+  // Absurd dims whose element product overflows u64: the checked offset
+  // math must throw InvalidArgument instead of wrapping silently.
+  const Dims absurd{1ull << 40, 1ull << 40, 1ull << 40};
+  const std::vector<int> grid{1, 1, 1};
+  EXPECT_THROW((void)pario::ptz1_file_bytes(absurd, grid, {}),
+               InvalidArgument);
 }
 
 TEST(Failure, ZeroSizedTensorNormIsZero) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "core/st_hosvd.hpp"
 #include "dist/grid.hpp"
@@ -185,6 +187,47 @@ TEST(TimestepReader, CachedWindowReadsReopenNothing) {
       EXPECT_EQ(testing::max_diff(g, expected), 0.0);
     }
   });
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TimestepReader, DetectsRewrittenStepUnderLiveReader) {
+  // The in-situ case: the solver rewrites (or keeps writing) a step file
+  // while a reader holds it in the fd/header cache. A cache hit must
+  // revalidate against the filesystem and serve the NEW bytes.
+  const Dims dims{4, 3, 2};
+  const std::string dir = make_step_dir("ptucker_steps_stale", dims, 3);
+  const pario::TimestepReader reader(dir, /*max_cached_files=*/8);
+  std::vector<util::Range> all(dims.size());
+  for (std::size_t n = 0; n < dims.size(); ++n) all[n] = {0, dims[n]};
+
+  const Tensor before = reader.read_step(0, all);  // step 0 now cached
+  const std::size_t opens_before = reader.file_opens();
+
+  // Rewrite step 0 in place with different content (same dims, same size).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Tensor changed(dims);
+  changed.fill_from(
+      [&](std::span<const std::size_t> idx) { return step_value(idx, 99); });
+  tensor::save_tensor(reader.step_path(0), changed);
+
+  const Tensor after = reader.read_step(0, all);
+  EXPECT_EQ(reader.file_opens(), opens_before + 1)
+      << "a stale cache hit must be evicted and re-opened";
+  EXPECT_EQ(testing::max_diff(changed, after), 0.0)
+      << "the reader served stale bytes after the rewrite";
+  EXPECT_GT(testing::max_diff(before, after), 0.0);
+
+  // An unchanged cached step still serves without re-opening: the
+  // revalidation only evicts on a real change.
+  const std::size_t opens_mid = reader.file_opens();
+  (void)reader.read_step(1, all);
+  (void)reader.read_step(1, all);
+  EXPECT_EQ(reader.file_opens(), opens_mid);
+
+  // A rewrite that changes the dims is a hard error, not silent corruption.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tensor::save_tensor(reader.step_path(0), Tensor(Dims{5, 3, 2}, 1.0));
+  EXPECT_THROW((void)reader.read_step(0, all), InvalidArgument);
   std::filesystem::remove_all(dir);
 }
 

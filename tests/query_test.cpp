@@ -106,6 +106,34 @@ TEST(Query, RejectsOutOfRangeIndex) {
   EXPECT_THROW((void)query.element(bad), InvalidArgument);
 }
 
+TEST(Query, RejectsWrongIndexArity) {
+  const Tensor x = data::make_low_rank_seq(Dims{6, 6}, Dims{2, 2}, 13);
+  core::seq::SeqOptions opts;
+  const auto result = core::seq::seq_st_hosvd(x, opts);
+  const CompressedQuery query(result.tucker.core, result.tucker.factors);
+  const std::size_t one[] = {3};
+  const std::size_t three[] = {3, 3, 3};
+  EXPECT_THROW((void)query.element(one), InvalidArgument);
+  EXPECT_THROW((void)query.element(three), InvalidArgument);
+  EXPECT_THROW((void)query.fiber(0, one), InvalidArgument);
+}
+
+TEST(Query, RejectsOutOfRangeFiberModeAndIndex) {
+  const Tensor x = data::make_low_rank_seq(Dims{6, 5}, Dims{2, 2}, 17);
+  core::seq::SeqOptions opts;
+  const auto result = core::seq::seq_st_hosvd(x, opts);
+  const CompressedQuery query(result.tucker.core, result.tucker.factors);
+  const std::size_t idx[] = {2, 2};
+  EXPECT_THROW((void)query.fiber(-1, idx), InvalidArgument);
+  EXPECT_THROW((void)query.fiber(2, idx), InvalidArgument);
+  // A component out of range throws even when it names the fiber mode the
+  // query would skip — garbage indices never silently "work".
+  const std::size_t bad_other[] = {2, 5};
+  EXPECT_THROW((void)query.fiber(0, bad_other), InvalidArgument);
+  const std::size_t bad_skipped[] = {6, 2};
+  EXPECT_THROW((void)query.fiber(0, bad_skipped), InvalidArgument);
+}
+
 TEST(GramOverlap, OverlappedRingMatchesDefault) {
   run_ranks(8, [](mps::Comm& comm) {
     auto grid = dist::make_grid(comm, {4, 2, 1});

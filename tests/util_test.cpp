@@ -161,6 +161,22 @@ TEST(ErrorMacros, CheckThrowsInternalError) {
   EXPECT_THROW(PT_CHECK(false, "bug"), InternalError);
 }
 
+TEST(CheckedMath, MultiplyAndAddDetectOverflow) {
+  EXPECT_EQ(util::checked_mul(6, 7, "test"), 42u);
+  EXPECT_EQ(util::checked_mul(0, ~0ull, "test"), 0u);
+  EXPECT_EQ(util::checked_add(1, 2, "test"), 3u);
+  EXPECT_THROW((void)util::checked_mul(1ull << 33, 1ull << 31, "test"),
+               InvalidArgument);
+  EXPECT_THROW((void)util::checked_add(~0ull, 1, "test"), InvalidArgument);
+  try {
+    (void)util::checked_mul(~0ull, 2, "pario: offsets");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("pario: offsets"),
+              std::string::npos);
+  }
+}
+
 TEST(ErrorMacros, MessageContainsContext) {
   try {
     PT_REQUIRE(1 == 2, "value was " << 7);
