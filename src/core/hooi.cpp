@@ -53,10 +53,17 @@ HooiResult hooi(const DistTensor& x, const SthosvdOptions& init_options,
       y = dist::ttm_chain(x, ptrs, ttm_order, options.ttm_algo,
                           options.timers);
 
-      const dist::RankSelection select =
-          dist::RankSelection::fixed_rank(ranks[static_cast<std::size_t>(n)]);
+      const std::size_t rank = ranks[static_cast<std::size_t>(n)];
+      const dist::RankSelection select = dist::RankSelection::fixed_rank(rank);
+      const FactorRoute route = resolve_factor_route(
+          options.factor_method, y, n, options.sketch, 0.0, rank);
       dist::FactorResult factor;
-      if (use_tsqr_route(options.factor_method, y, n)) {
+      if (route == FactorRoute::Randomized) {
+        // Fixed-rank selection: the sketch result is always certified.
+        factor = dist::factor_via_sketch(y, n, select, options.sketch,
+                                         options.timers)
+                     .factor;
+      } else if (route == FactorRoute::Tsqr) {
         factor = dist::factor_via_tsqr(y, n, select, options.timers);
       } else {
         const dist::GramColumns s =

@@ -24,8 +24,12 @@ struct HooiOptions {
   dist::GramAlgo gram_algo = dist::GramAlgo::Auto;
   dist::EigAlgo eig_algo = dist::EigAlgo::TridiagonalQL;
   /// Route for the per-mode factor update: Gram + eig (paper default),
-  /// Gram-free TSQR, or the per-mode cost-model choice. Works on any grid.
+  /// Gram-free TSQR, the randomized sketch, or the per-mode cost-model
+  /// choice. Works on any grid.
   FactorMethod factor_method = FactorMethod::GramEig;
+  /// Knobs for FactorMethod::Randomized. HOOI sweeps use fixed-rank
+  /// selection, so the sketch never needs the eps-tail fallback here.
+  dist::SketchOptions sketch;
   util::KernelTimers* timers = nullptr;
 };
 

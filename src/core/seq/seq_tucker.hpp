@@ -7,9 +7,14 @@
 ///  1. cross-validation oracle for the distributed algorithms (the property
 ///     tests demand bit-for-bit-comparable errors across all grids),
 ///  2. the single-node baseline for the scaling benches, and
-///  3. the Sec. IX ablation host for the Gram-free SVD factor computation.
+///  3. the Sec. IX ablation host for the Gram-free SVD and randomized
+///     sketch factor computations.
+
+#include <string>
+#include <string_view>
 
 #include "core/mode_order.hpp"
+#include "dist/sketch.hpp"
 #include "lapack/lapack.hpp"
 #include "tensor/local_kernels.hpp"
 
@@ -23,6 +28,21 @@ enum class FactorMethod {
   GramEig,    ///< Gram matrix + symmetric eigensolver (paper default)
   GramJacobi, ///< Gram matrix + Jacobi eigensolver
   SvdQr,      ///< QR of the unfolding's transpose + small SVD (Sec. IX)
+  Randomized, ///< sketch Y(n)*Omega -> thin QR -> project -> small SVD,
+              ///< mirroring the distributed route entry for entry (same
+              ///< counter-based Omega per (seed, mode))
+};
+
+[[nodiscard]] std::string_view seq_factor_method_name(FactorMethod method);
+
+/// A mode whose requested method could not run (SvdQr on a degenerate
+/// non-wide unfolding, or a sketch that failed the eq. 3 posteriori check)
+/// and was replaced by the Gram route. Recorded, never silent.
+struct SeqDowngrade {
+  int mode = -1;
+  FactorMethod requested = FactorMethod::GramEig;
+  FactorMethod used = FactorMethod::GramEig;
+  std::string reason;
 };
 
 struct SeqTucker {
@@ -39,12 +59,20 @@ struct SeqOptions {
   ModeOrderStrategy order_strategy = ModeOrderStrategy::Natural;
   std::vector<int> custom_order;
   FactorMethod method = FactorMethod::GramEig;
+  /// Knobs for FactorMethod::Randomized; the seed and width conventions are
+  /// shared with the distributed route, so at a fixed (seed, mode) both
+  /// sketch against the same Omega.
+  dist::SketchOptions sketch;
 };
 
 struct SeqResult {
   SeqTucker tucker;
   std::vector<std::vector<double>> mode_eigenvalues;  ///< by mode
   std::vector<int> mode_order_used;
+  /// Method that actually produced each mode's factor, indexed by mode
+  /// (differs from SeqOptions::method only via a recorded downgrade).
+  std::vector<FactorMethod> mode_methods;
+  std::vector<SeqDowngrade> downgrades;
   double norm_x = 0.0;
   double error_bound = 0.0;
 };

@@ -6,16 +6,50 @@
 
 namespace ptucker::core {
 
-bool use_tsqr_route(FactorMethod method, const DistTensor& y, int mode) {
+std::string_view factor_route_name(FactorRoute route) {
+  switch (route) {
+    case FactorRoute::Gram:
+      return "gram";
+    case FactorRoute::Tsqr:
+      return "tsqr";
+    case FactorRoute::Randomized:
+      return "randomized";
+  }
+  return "?";
+}
+
+FactorRoute resolve_factor_route(FactorMethod method, const DistTensor& y,
+                                 int mode, const dist::SketchOptions& sketch,
+                                 double epsilon, std::size_t fixed_rank) {
   switch (method) {
     case FactorMethod::GramEig:
-      return false;
+      return FactorRoute::Gram;
     case FactorMethod::TsqrSvd:
-      return true;
-    case FactorMethod::Auto:
-      return costmodel::prefer_tsqr(y.global_dims(), mode, y.grid().shape());
+      return FactorRoute::Tsqr;
+    case FactorMethod::Randomized:
+      return FactorRoute::Randomized;
+    case FactorMethod::Auto: {
+      // The sketch only enters the running when the posteriori eq. 3 check
+      // has headroom: fixed-rank selection never falls back, and a loose
+      // eps leaves slack for the sketch residual. A tight eps would
+      // routinely reject the sketch and pay for both routes.
+      const bool sketch_eligible =
+          fixed_rank > 0 || epsilon >= sketch.auto_min_epsilon;
+      if (sketch_eligible) {
+        const std::size_t width =
+            dist::sketch_width(y.global_dim(mode), fixed_rank, sketch);
+        if (costmodel::prefer_sketch(y.global_dims(), mode, width,
+                                     sketch.power_iterations,
+                                     y.grid().shape())) {
+          return FactorRoute::Randomized;
+        }
+      }
+      return costmodel::prefer_tsqr(y.global_dims(), mode, y.grid().shape())
+                 ? FactorRoute::Tsqr
+                 : FactorRoute::Gram;
+    }
   }
-  return false;
+  return FactorRoute::Gram;
 }
 
 SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
@@ -29,6 +63,8 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
   result.norm_x_sq = x.norm_squared();
   result.norm_x = std::sqrt(result.norm_x_sq);
   result.mode_eigenvalues.resize(static_cast<std::size_t>(order));
+  result.mode_routes.assign(static_cast<std::size_t>(order),
+                            FactorRoute::Gram);
   result.mode_order_used = resolve_mode_order(
       options.order_strategy, x.global_dims(), options.fixed_ranks,
       options.custom_order);
@@ -43,21 +79,47 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
   double tail_total = 0.0;
 
   for (int n : result.mode_order_used) {
+    const std::size_t fixed_rank =
+        options.fixed_ranks.empty()
+            ? std::size_t{0}
+            : options.fixed_ranks[static_cast<std::size_t>(n)];
     const dist::RankSelection select =
         options.fixed_ranks.empty()
             ? dist::RankSelection::threshold(tail_threshold)
-            : dist::RankSelection::fixed_rank(
-                  options.fixed_ranks[static_cast<std::size_t>(n)]);
+            : dist::RankSelection::fixed_rank(fixed_rank);
+    FactorRoute route =
+        resolve_factor_route(options.factor_method, y, n, options.sketch,
+                             options.epsilon, fixed_rank);
+
     dist::FactorResult factor;
-    if (use_tsqr_route(options.factor_method, y, n)) {
+    if (route == FactorRoute::Randomized) {
+      dist::SketchFactorResult sk =
+          dist::factor_via_sketch(y, n, select, options.sketch,
+                                  options.timers);
+      result.sketches.push_back({n, sk.seed, sk.width, sk.power_iterations,
+                                 !sk.certified});
+      if (sk.certified) {
+        factor = std::move(sk.factor);
+        // The energy outside the sketch subspace is part of what the
+        // truncation discards — charge it to the eq. 3 tail.
+        tail_total += sk.residual_energy;
+      } else {
+        route = FactorRoute::Gram;
+        result.downgrades.push_back(
+            {n, FactorRoute::Randomized, FactorRoute::Gram,
+             "sketch residual exceeds the eq. 3 per-mode budget"});
+      }
+    }
+    if (route == FactorRoute::Tsqr) {
       factor = dist::factor_via_tsqr(y, n, select, options.timers);
       result.tsqr_modes.push_back(n);
-    } else {
+    } else if (route == FactorRoute::Gram) {
       const dist::GramColumns s =
           dist::gram(y, n, options.gram_algo, options.timers);
       factor = dist::eigenvectors(s, y.grid(), n, select, options.eig_algo,
                                   options.timers);
     }
+    result.mode_routes[static_cast<std::size_t>(n)] = route;
 
     // Account the truncated tail toward the eq. (3) error bound.
     for (std::size_t i = factor.rank; i < factor.eigenvalues.size(); ++i) {

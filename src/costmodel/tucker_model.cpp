@@ -127,6 +127,62 @@ bool prefer_tsqr(const Dims& dims, int mode, const std::vector<int>& grid,
          machine.seconds(gram_route);
 }
 
+KernelCost sketch_cost(const Dims& dims, int mode, std::size_t width,
+                       int power_iterations, const std::vector<int>& grid) {
+  PT_REQUIRE(dims.size() == grid.size(), "sketch_cost: order mismatch");
+  const double j = dprod(dims);
+  const double p = grid_size(grid);
+  const double pn = static_cast<double>(grid[static_cast<std::size_t>(mode)]);
+  const double phat = p / pn;
+  const double jn = static_cast<double>(dims[static_cast<std::size_t>(mode)]);
+  const double jhat = j / jn;
+  const double w = static_cast<double>(width);
+  const double passes = 1.0 + static_cast<double>(power_iterations);
+
+  KernelCost cost;
+  // Counter-based Gaussian test-matrix evaluation on the local block
+  // (Box-Muller per entry; ~50 flop-equivalents each).
+  cost.flops += 50.0 * w * jhat / phat;
+  // (1+q) sketch cross-Grams of the local block against the width-w tensor.
+  cost.flops += passes * 2.0 * w * j / p;
+  // (1+q) full-grid allreduces of the Jn x w sketch.
+  cost.messages += passes * 2.0 * log2_ceil(static_cast<int>(p));
+  cost.words += passes * 2.0 * (p - 1.0) / p * jn * w;
+  // (1+q) redundant thin QRs of the replicated Jn x w sketch.
+  cost.flops += passes * 2.0 * jn * w * w;
+  // (1+q) width-w TTMs (q power-iteration projections + the final one).
+  for (int t = 0; t < static_cast<int>(passes); ++t) {
+    cost += ttm_cost(dims, width, mode, grid);
+  }
+  // q processor-column allgathers of the re-blocked projected tensor.
+  cost.messages += static_cast<double>(power_iterations) * 2.0 * (pn - 1.0);
+  cost.words += static_cast<double>(power_iterations) * 2.0 * (pn - 1.0) /
+                pn * w * jhat / phat;
+  // TSQR of the projected tensor (mode extent w instead of Jn).
+  Dims projected = dims;
+  projected[static_cast<std::size_t>(mode)] = width;
+  cost += tsqr_cost(projected, mode, grid);
+  // Redundant w x w SVD of R^T and the factor lift U = Q U_B.
+  cost.flops += (10.0 / 3.0) * w * w * w + 2.0 * jn * w * w;
+  return cost;
+}
+
+bool prefer_sketch(const Dims& dims, int mode, std::size_t width,
+                   int power_iterations, const std::vector<int>& grid,
+                   const Machine& machine) {
+  const std::size_t jn = dims[static_cast<std::size_t>(mode)];
+  // A sketch as wide as the mode itself has no flop advantage over the
+  // exact routes and still pays the sketch error — never pick it.
+  if (2 * width >= jn) return false;
+  KernelCost gram_route =
+      gram_cost(dims, mode, grid, auto_gram_symmetric(grid, mode));
+  gram_route += evecs_cost(jn, mode, grid);
+  const double exact = std::min(machine.seconds(gram_route),
+                                machine.seconds(tsqr_cost(dims, mode, grid)));
+  return machine.seconds(
+             sketch_cost(dims, mode, width, power_iterations, grid)) < exact;
+}
+
 KernelCost sthosvd_cost(const Dims& dims, const Dims& ranks,
                         const std::vector<int>& grid,
                         const std::vector<int>& order) {

@@ -75,6 +75,26 @@ struct Machine {
                                const std::vector<int>& grid,
                                const Machine& machine = {});
 
+/// Cost of the randomized sketch factor route for mode n with sketch width
+/// w and q power iterations: test-matrix generation, (1+q) sketch
+/// cross-Grams + allreduces + redundant thin QRs, (1+q) width-w TTMs, q
+/// processor-column allgathers, the TSQR of the projected (w-row) tensor,
+/// and the redundant w x w SVD + factor lift. The leading term is
+/// 2(1+2q) w J/P flops — linear in w where the exact routes are linear in
+/// Jn — so it wins exactly when w << Jn.
+[[nodiscard]] KernelCost sketch_cost(const Dims& dims, int mode,
+                                     std::size_t width, int power_iterations,
+                                     const std::vector<int>& grid);
+
+/// FactorMethod::Auto predicate for the randomized route: true when the
+/// modeled sketch beats the better of the two exact routes for mode n.
+/// Always false when the sketch width is not materially narrower than Jn
+/// (no flop advantage, only sketch error).
+[[nodiscard]] bool prefer_sketch(const Dims& dims, int mode, std::size_t width,
+                                 int power_iterations,
+                                 const std::vector<int>& grid,
+                                 const Machine& machine = {});
+
 /// Total ST-HOSVD cost: sums the three kernels over modes in the given
 /// processing order with the working dims shrinking as the paper's Sec. VI-A
 /// analysis does.

@@ -73,4 +73,28 @@ class CounterRng {
   std::uint64_t seed_;
 };
 
+/// Counter-based Gaussian test-matrix generator for the randomized factor
+/// route: entry (row, col) of the Jhat_n x w test matrix Omega drawn for
+/// (seed, mode) is a standard normal indexed by the *global* unfolding
+/// column `row`, so every rank of any processor grid (and the sequential
+/// oracle) evaluates the same Omega on its own blocks — the sketch subspace
+/// is reproducible per (seed, mode) and independent of the grid and of
+/// evaluation order.
+class SketchRng {
+ public:
+  SketchRng(std::uint64_t seed, int mode)
+      : rng_(splitmix64(seed) ^
+             splitmix64(kModeSalt + static_cast<std::uint64_t>(mode))) {}
+
+  /// Omega(row, col) for a test matrix of the given width (columns).
+  [[nodiscard]] double omega(std::uint64_t row, std::uint64_t col,
+                             std::uint64_t width) const {
+    return rng_.normal(row * width + col);
+  }
+
+ private:
+  static constexpr std::uint64_t kModeSalt = 0x736b657463686d30ULL;
+  CounterRng rng_;
+};
+
 }  // namespace ptucker::util
