@@ -6,6 +6,8 @@
 /// feature ("extract only the reconstruction of a single species, a few
 /// time steps, a coarser grid, a subset of the grid").
 
+#include <span>
+
 #include "core/tucker_tensor.hpp"
 #include "dist/ttm.hpp"
 
@@ -32,5 +34,15 @@ namespace ptucker::core {
     const TuckerTensor& model, const std::vector<util::Range>& ranges,
     dist::TtmAlgo algo = dist::TtmAlgo::Auto,
     util::KernelTimers* timers = nullptr);
+
+/// Sequential partial reconstruction of a box: contract \p core with the
+/// [lo, hi) row blocks of each factor, smallest-growth mode first — the
+/// serve layer's per-query evaluation. Communication-free (no grid, no
+/// runtime) and bit-identical to reconstruct_range of the same box on a
+/// 1-rank grid: the contraction order is shared, and on one rank the
+/// distributed TTM collapses to the same local kernel call.
+[[nodiscard]] tensor::Tensor reconstruct_range_local(
+    const tensor::Tensor& core, std::span<const tensor::Matrix> factors,
+    const std::vector<util::Range>& ranges);
 
 }  // namespace ptucker::core

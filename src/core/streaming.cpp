@@ -134,7 +134,8 @@ dist::DistTensor StreamingReconstructor::reconstruct_steps(
                                               << " != step order + 1");
   PT_REQUIRE(grid->extent(static_cast<int>(sorder)) == 1,
              "reconstruct_steps: the grid's time extent must be 1 (time "
-             "stitching is local; distribute the spatial modes instead)");
+             "stitching is local; distribute the spatial modes instead, or "
+             "use serve::QueryServer for the grid-free single-process path)");
   if (spatial.empty()) {
     spatial.resize(sorder);
     for (std::size_t n = 0; n < sorder; ++n) spatial[n] = {0, sdims[n]};

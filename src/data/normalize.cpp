@@ -135,9 +135,24 @@ NormalizationStats normalize_species_seq(tensor::Tensor& x, int species_mode) {
 
 void denormalize_species_seq(tensor::Tensor& x,
                              const NormalizationStats& stats) {
+  denormalize_species_range_seq(x, stats, 0);
+}
+
+void denormalize_species_range_seq(tensor::Tensor& x,
+                                   const NormalizationStats& stats,
+                                   std::size_t species_lo) {
+  PT_REQUIRE(stats.species_mode >= 0 && stats.species_mode < x.order(),
+             "denormalize: species mode out of range");
+  PT_REQUIRE(species_lo + x.dim(stats.species_mode) <= stats.mean.size(),
+             "denormalize: species range ["
+                 << species_lo << ", "
+                 << species_lo + x.dim(stats.species_mode)
+                 << ") outside the stats (" << stats.mean.size()
+                 << " species)");
   for_each_species(x, stats.species_mode, [&](std::size_t s, double& v) {
-    if (stats.stdev[s] >= kStdFloor) v *= stats.stdev[s];
-    v += stats.mean[s];
+    const std::size_t g = species_lo + s;
+    if (stats.stdev[g] >= kStdFloor) v *= stats.stdev[g];
+    v += stats.mean[g];
   });
 }
 

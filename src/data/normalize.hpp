@@ -39,4 +39,13 @@ NormalizationStats normalize_species_seq(tensor::Tensor& x, int species_mode);
 void denormalize_species_seq(tensor::Tensor& x,
                              const NormalizationStats& stats);
 
+/// Sequential inverse transform for a tensor whose species mode covers only
+/// the global species indices [species_lo, species_lo + extent) of \p stats
+/// — the serve layer's per-query denormalization. Applies the exact formula
+/// of denormalize_species_range, so a local evaluation bit-matches the
+/// distributed one.
+void denormalize_species_range_seq(tensor::Tensor& x,
+                                   const NormalizationStats& stats,
+                                   std::size_t species_lo);
+
 }  // namespace ptucker::data

@@ -260,6 +260,23 @@ std::vector<std::size_t> ArchiveReader::covering(std::uint64_t lo,
   return hits;
 }
 
+void ArchiveReader::check_entry_shape(
+    std::size_t e, std::span<const tensor::Matrix> factors) const {
+  // Defense in depth: the blob must actually be a model of this archive's
+  // shared shape.
+  const ArchiveEntry& ent = entry(e);
+  PT_REQUIRE(factors.size() == step_dims_.size() + 1,
+             "archive: entry " << e << " order mismatch in " << file_.path());
+  for (std::size_t n = 0; n < step_dims_.size(); ++n) {
+    PT_REQUIRE(factors[n].rows() == step_dims_[n],
+               "archive: entry " << e << " spatial dims mismatch in "
+                                 << file_.path());
+  }
+  PT_REQUIRE(factors.back().rows() == ent.step_count,
+             "archive: entry " << e << " time extent mismatch in "
+                               << file_.path());
+}
+
 ModelData ArchiveReader::read_entry(std::size_t e,
                                     std::shared_ptr<mps::CartGrid> grid)
     const {
@@ -267,18 +284,15 @@ ModelData ArchiveReader::read_entry(std::size_t e,
   ModelData model = read_model_at(file_, ent.byte_offset,
                                   ent.byte_offset + ent.byte_count,
                                   std::move(grid));
-  // Defense in depth: the blob must actually be a model of this archive's
-  // shared shape.
-  PT_REQUIRE(model.factors.size() == step_dims_.size() + 1,
-             "archive: entry " << e << " order mismatch in " << file_.path());
-  for (std::size_t n = 0; n < step_dims_.size(); ++n) {
-    PT_REQUIRE(model.factors[n].rows() == step_dims_[n],
-               "archive: entry " << e << " spatial dims mismatch in "
-                                 << file_.path());
-  }
-  PT_REQUIRE(model.factors.back().rows() == ent.step_count,
-             "archive: entry " << e << " time extent mismatch in "
-                               << file_.path());
+  check_entry_shape(e, std::span<const tensor::Matrix>(model.factors));
+  return model;
+}
+
+LocalModelData ArchiveReader::read_entry_local(std::size_t e) const {
+  const ArchiveEntry& ent = entry(e);
+  LocalModelData model = read_model_local_at(
+      file_, ent.byte_offset, ent.byte_offset + ent.byte_count);
+  check_entry_shape(e, std::span<const tensor::Matrix>(model.factors));
   return model;
 }
 

@@ -125,7 +125,17 @@ class ArchiveReader {
                                      std::shared_ptr<mps::CartGrid> grid)
       const;
 
+  /// Grid-free load of entry \p e: the full core as one plain tensor, via
+  /// read_model_local_at. No runtime, no collectives — safe from any thread
+  /// (positioned reads on the shared descriptor); the serve layer's loader.
+  /// Applies the same defense-in-depth shape checks as read_entry.
+  [[nodiscard]] LocalModelData read_entry_local(std::size_t e) const;
+
  private:
+  /// Shared defense-in-depth shape validation for both read paths.
+  void check_entry_shape(std::size_t e,
+                         std::span<const tensor::Matrix> factors) const;
+
   File file_;
   tensor::Dims step_dims_;
   std::uint64_t species_mode_ = kArchiveNoSpecies;

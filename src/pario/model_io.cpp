@@ -126,10 +126,23 @@ void write_model(const std::string& path, const dist::DistTensor& core,
   (void)write_model_at(path, 0, /*create=*/true, core, factors, stats);
 }
 
-ModelData read_model_at(const File& file, std::uint64_t base,
-                        std::uint64_t limit,
-                        std::shared_ptr<mps::CartGrid> grid) {
-  PT_REQUIRE(grid != nullptr, "read_model: null grid");
+namespace {
+
+/// Everything of a PTZ1 blob except the core payload: the parsed + validated
+/// header, the replicated factors/stats, and the absolute core-block offset
+/// table. Shared by the distributed reader (each rank then preads only its
+/// own block) and the grid-free local reader (which preads every block).
+struct ParsedModel {
+  tensor::Dims core_dims;
+  std::vector<int> file_grid;
+  std::vector<std::uint64_t> core_offsets;  ///< absolute file positions
+  std::vector<tensor::Matrix> factors;
+  bool has_stats = false;
+  data::NormalizationStats stats;
+};
+
+ParsedModel parse_model_blob(const File& file, std::uint64_t base,
+                             std::uint64_t limit) {
   PT_REQUIRE(base <= limit && limit <= file.size(),
              "pario: PTZ1 blob bounds [" << base << ", " << limit
                                          << ") outside " << file.path());
@@ -140,19 +153,15 @@ ModelData read_model_at(const File& file, std::uint64_t base,
   const std::uint64_t order = reader.u64();
   PT_REQUIRE(order >= 1 && order <= detail::kMaxOrder,
              "pario: implausible order " << order << " in " << file.path());
-  PT_REQUIRE(static_cast<int>(order) == grid->order(),
-             "read_model: file order " << order << " != grid order "
-                                       << grid->order());
   const auto dims64 = reader.u64s(order);
-  const tensor::Dims core_dims(dims64.begin(), dims64.end());
-  const std::vector<int> file_grid =
-      detail::read_grid_shape(reader, order, file);
+  ParsedModel model;
+  model.core_dims.assign(dims64.begin(), dims64.end());
+  model.file_grid = detail::read_grid_shape(reader, order, file);
   std::uint64_t ranks = 1;
-  for (int e : file_grid) ranks *= static_cast<std::uint64_t>(e);
+  for (int e : model.file_grid) ranks *= static_cast<std::uint64_t>(e);
   const auto rows = reader.u64s(order);
   const auto cols = reader.u64s(order);
 
-  ModelData model;
   model.has_stats = reader.u64() != 0;
   if (model.has_stats) {
     const std::uint64_t species_mode = reader.u64();
@@ -201,24 +210,62 @@ ModelData read_model_at(const File& file, std::uint64_t base,
     model.factors.push_back(std::move(u));
   }
   // Shift the blob-relative core offsets to absolute file positions.
-  std::vector<std::uint64_t> core_offsets(core_offsets64.size());
+  model.core_offsets.resize(core_offsets64.size());
   for (std::size_t b = 0; b < core_offsets64.size(); ++b) {
-    core_offsets[b] =
+    model.core_offsets[b] =
         util::checked_add(base, core_offsets64[b], "pario: PTZ1 core offset");
   }
-  detail::validate_blocked_header("pario(PTZ1)", file, core_dims, file_grid,
-                                  core_offsets, factor_pos, limit);
+  detail::validate_blocked_header("pario(PTZ1)", file, model.core_dims,
+                                  model.file_grid, model.core_offsets,
+                                  factor_pos, limit);
+  return model;
+}
+
+}  // namespace
+
+ModelData read_model_at(const File& file, std::uint64_t base,
+                        std::uint64_t limit,
+                        std::shared_ptr<mps::CartGrid> grid) {
+  PT_REQUIRE(grid != nullptr, "read_model: null grid");
+  ParsedModel parsed = parse_model_blob(file, base, limit);
+  PT_REQUIRE(static_cast<int>(parsed.core_dims.size()) == grid->order(),
+             "read_model: file order " << parsed.core_dims.size()
+                                       << " != grid order " << grid->order());
+  ModelData model;
+  model.factors = std::move(parsed.factors);
+  model.has_stats = parsed.has_stats;
+  model.stats = std::move(parsed.stats);
 
   // Core: every rank preads its own block out of the writer's layout.
-  model.core = dist::DistTensor(std::move(grid), core_dims);
+  model.core = dist::DistTensor(std::move(grid), parsed.core_dims);
   if (model.core.local().size() > 0) {
-    std::vector<util::Range> mine(core_dims.size());
+    std::vector<util::Range> mine(parsed.core_dims.size());
     for (int n = 0; n < model.core.order(); ++n) {
       mine[static_cast<std::size_t>(n)] = model.core.mode_range(n);
     }
     model.core.local() = detail::read_blocked_ranges(
-        file, core_dims, file_grid, core_offsets, mine);
+        file, parsed.core_dims, parsed.file_grid, parsed.core_offsets, mine);
   }
+  return model;
+}
+
+LocalModelData read_model_local_at(const File& file, std::uint64_t base,
+                                   std::uint64_t limit) {
+  ParsedModel parsed = parse_model_blob(file, base, limit);
+  LocalModelData model;
+  model.factors = std::move(parsed.factors);
+  model.has_stats = parsed.has_stats;
+  model.stats = std::move(parsed.stats);
+  // The full core: the same positioned-read machinery the distributed path
+  // uses for one rank's block, asked for the whole hyper-rectangle — so the
+  // assembled tensor is byte-identical to a 1-rank distributed load.
+  std::vector<util::Range> all(parsed.core_dims.size());
+  for (std::size_t n = 0; n < parsed.core_dims.size(); ++n) {
+    all[n] = util::Range{0, parsed.core_dims[n]};
+  }
+  model.core = detail::read_blocked_ranges(file, parsed.core_dims,
+                                           parsed.file_grid,
+                                           parsed.core_offsets, all);
   return model;
 }
 

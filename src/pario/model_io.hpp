@@ -43,6 +43,16 @@ struct ModelData {
   data::NormalizationStats stats;  ///< valid only when has_stats
 };
 
+/// Contents of a loaded PTZ1 file with the core assembled as one plain
+/// (non-distributed) tensor — the serve layer's load path, where a server
+/// thread needs the whole model without a grid or a runtime.
+struct LocalModelData {
+  tensor::Tensor core;
+  std::vector<tensor::Matrix> factors;
+  bool has_stats = false;
+  data::NormalizationStats stats;  ///< valid only when has_stats
+};
+
 /// Collective: write the model block-parallel. \p stats may be null; when
 /// given it is archived in the header (the paper's per-species mean/stdev,
 /// needed to reconstruct physical values).
@@ -74,6 +84,16 @@ std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
 [[nodiscard]] ModelData read_model_at(const File& file, std::uint64_t base,
                                       std::uint64_t limit,
                                       std::shared_ptr<mps::CartGrid> grid);
+
+/// Communication-free, grid-free read of the PTZ1 blob at byte \p base of
+/// \p file: the full core is assembled from the writer's block layout via
+/// the same positioned-read machinery read_model_at uses, so the result is
+/// byte-identical to a 1-rank distributed load of the same blob. Safe to
+/// call from any thread (no runtime, no collectives) — the serve layer's
+/// loader. Header validation is identical to read_model_at.
+[[nodiscard]] LocalModelData read_model_local_at(const File& file,
+                                                 std::uint64_t base,
+                                                 std::uint64_t limit);
 
 /// True when the file at \p path starts with the PTZ1 magic.
 [[nodiscard]] bool is_ptz1(const std::string& path);

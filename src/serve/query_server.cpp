@@ -1,0 +1,362 @@
+#include "serve/query_server.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/reconstruct.hpp"
+
+namespace ptucker::serve {
+
+namespace {
+
+/// stat result condensed exactly as the TimestepReader stale-file check
+/// does (see timestep_reader.cpp): identity + size + mtime.
+pario::detail::StepFileSig sig_of(const struct stat& st) {
+  return {static_cast<std::uint64_t>(st.st_dev),
+          static_cast<std::uint64_t>(st.st_ino),
+          static_cast<std::uint64_t>(st.st_size),
+          static_cast<std::int64_t>(st.st_mtim.tv_sec),
+          static_cast<std::int64_t>(st.st_mtim.tv_nsec)};
+}
+
+/// True when \p fresh is \p old with zero or more entries appended: every
+/// old entry is unchanged (same window, same blob bytes). Anything else —
+/// fewer entries, a moved blob, a re-windowed entry — is a rewrite.
+bool entries_extend(const std::vector<pario::ArchiveEntry>& old_entries,
+                    const std::vector<pario::ArchiveEntry>& fresh) {
+  if (fresh.size() < old_entries.size()) return false;
+  for (std::size_t e = 0; e < old_entries.size(); ++e) {
+    const pario::ArchiveEntry& o = old_entries[e];
+    const pario::ArchiveEntry& n = fresh[e];
+    if (o.step_first != n.step_first || o.step_count != n.step_count ||
+        o.byte_offset != n.byte_offset || o.byte_count != n.byte_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::vector<std::string> archive_paths,
+                         ServerOptions options)
+    : opts_(options),
+      cache_(opts_.cache_capacity, opts_.cache_shards) {
+  PT_REQUIRE(!archive_paths.empty(), "QueryServer: no archives given");
+  PT_REQUIRE(opts_.executor_threads == 0 || opts_.queue_depth >= 1,
+             "QueryServer: queue depth < 1");
+  archives_.reserve(archive_paths.size());
+  for (std::string& path : archive_paths) {
+    auto st = std::make_unique<ArchiveState>();
+    st->path = std::move(path);
+    // Signature before parse: anything that changes the file after this
+    // stat is caught by the next revalidation, never missed.
+    struct stat fs {};
+    PT_REQUIRE(::stat(st->path.c_str(), &fs) == 0,
+               "QueryServer: cannot stat " << st->path);
+    st->sig = sig_of(fs);
+    st->reader = std::make_shared<const pario::ArchiveReader>(st->path);
+    archives_.push_back(std::move(st));
+  }
+  workers_.reserve(opts_.executor_threads);
+  for (std::size_t i = 0; i < opts_.executor_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+QueryServer::Snapshot QueryServer::snapshot(std::size_t a) const {
+  PT_REQUIRE(a < archives_.size(),
+             "serve: archive " << a << " out of range");
+  ArchiveState& st = *archives_[a];
+  if (!opts_.revalidate) {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    return {st.reader, st.generation};
+  }
+  // Stat outside the lock so concurrent queries on the same (unchanged)
+  // archive are not serialized behind each other's metadata round-trip.
+  struct stat fs {};
+  PT_REQUIRE(::stat(st.path.c_str(), &fs) == 0,
+             "serve: cannot stat " << st.path);
+  const pario::detail::StepFileSig sig = sig_of(fs);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (sig == st.sig) return {st.reader, st.generation};
+  // The file changed since the current reader parsed it. Re-open, then
+  // decide: a pure append (same inode, grown, every old entry intact) is
+  // adopted in place with the cached panels kept — their keys still name
+  // the same bytes; anything else is a rewrite, so the generation is
+  // bumped and the archive's panels dropped (stale models must never
+  // serve). An unchanged-size mtime bump cannot be told apart from an
+  // in-place payload rewrite, so it conservatively counts as a rewrite.
+  auto fresh = std::make_shared<const pario::ArchiveReader>(st.path);
+  PT_REQUIRE(fresh->step_dims() == st.reader->step_dims(),
+             "serve: " << st.path
+                       << " step dims changed under the server");
+  const bool append = sig.dev == st.sig.dev && sig.ino == st.sig.ino &&
+                      sig.size > st.sig.size &&
+                      entries_extend(st.reader->entries(), fresh->entries());
+  if (!append) {
+    ++st.generation;
+    cache_.erase_archive(a);
+  }
+  st.reader = std::move(fresh);
+  st.sig = sig;
+  return {st.reader, st.generation};
+}
+
+tensor::Dims QueryServer::step_dims(std::size_t a) const {
+  PT_REQUIRE(a < archives_.size(),
+             "serve: archive " << a << " out of range");
+  // Step dims are an archive invariant (snapshot() rejects a file whose
+  // dims changed), so no revalidation round-trip is needed here.
+  std::lock_guard<std::mutex> lock(archives_[a]->mutex);
+  return archives_[a]->reader->step_dims();
+}
+
+std::uint64_t QueryServer::num_steps(std::size_t a) const {
+  return snapshot(a).reader->step_end();
+}
+
+std::uint64_t QueryServer::generation(std::size_t a) const {
+  return snapshot(a).generation;
+}
+
+tensor::Tensor QueryServer::evaluate(const Request& req) const {
+  const Snapshot snap = snapshot(req.archive);
+  const pario::ArchiveReader& ar = *snap.reader;
+  const tensor::Dims& sdims = ar.step_dims();
+  const std::size_t sorder = sdims.size();
+
+  std::vector<util::Range> box = req.box;
+  if (box.empty()) {
+    box.resize(sorder);
+    for (std::size_t n = 0; n < sorder; ++n) box[n] = {0, sdims[n]};
+  }
+  PT_REQUIRE(box.size() == sorder,
+             "serve: " << box.size() << " box ranges for a step order of "
+                       << sorder);
+  for (std::size_t n = 0; n < sorder; ++n) {
+    PT_REQUIRE(box[n].lo < box[n].hi && box[n].hi <= sdims[n],
+               "serve: box range [" << box[n].lo << ", " << box[n].hi
+                                    << ") out of bounds in mode " << n
+                                    << " (extent " << sdims[n] << ")");
+  }
+  // covering validates the step range (non-empty, within the archive).
+  const std::vector<std::size_t> hits =
+      ar.covering(req.step_lo, req.step_hi);
+
+  tensor::Dims out_dims(sorder + 1);
+  for (std::size_t n = 0; n < sorder; ++n) out_dims[n] = box[n].size();
+  out_dims[sorder] = req.step_hi - req.step_lo;
+  tensor::Tensor out(out_dims);
+  std::size_t slab = 1;  // elements of one time slice of the answer
+  for (std::size_t n = 0; n < sorder; ++n) slab *= box[n].size();
+
+  for (std::size_t e : hits) {
+    const PanelKey key{req.archive, snap.generation, e};
+    const std::shared_ptr<const EntryPanels> panels =
+        cache_.get_or_load(key, [&]() -> std::shared_ptr<const EntryPanels> {
+          pario::LocalModelData md = ar.read_entry_local(e);
+          auto p = std::make_shared<EntryPanels>();
+          p->step_first = ar.entry(e).step_first;
+          p->step_count = ar.entry(e).step_count;
+          p->core = std::move(md.core);
+          p->factors = std::move(md.factors);
+          p->has_stats = md.has_stats;
+          p->stats = std::move(md.stats);
+          return p;
+        });
+    // This entry's share of the answer: the requested box, restricted in
+    // time to the overlap of [step_lo, step_hi) with the entry's window.
+    const std::uint64_t glo = std::max(req.step_lo, panels->step_first);
+    const std::uint64_t ghi = std::min(
+        req.step_hi, panels->step_first + panels->step_count);
+    std::vector<util::Range> ranges = box;
+    ranges.push_back({static_cast<std::size_t>(glo - panels->step_first),
+                      static_cast<std::size_t>(ghi - panels->step_first)});
+    tensor::Tensor part = core::reconstruct_range_local(
+        panels->core,
+        std::span<const tensor::Matrix>(panels->factors), ranges);
+    if (panels->has_stats && opts_.denormalize) {
+      PT_REQUIRE(panels->stats.species_mode >= 0 &&
+                     panels->stats.species_mode < static_cast<int>(sorder),
+               "serve: archived stats name a non-spatial species mode");
+      data::denormalize_species_range_seq(
+          part, panels->stats,
+          box[static_cast<std::size_t>(panels->stats.species_mode)].lo);
+    }
+    // Stitch along time (last, slowest mode): this entry's share is one
+    // contiguous slab of the answer — a pure memcpy, as reconstruct_steps.
+    PT_CHECK(part.size() == slab * (ghi - glo),
+             "serve: stitch slab size mismatch");
+    std::memcpy(out.data() + (glo - req.step_lo) * slab, part.data(),
+                part.size() * sizeof(double));
+  }
+  return out;
+}
+
+tensor::Tensor QueryServer::subtensor(const Request& req) const {
+  return evaluate(req);
+}
+
+std::future<tensor::Tensor> QueryServer::submit(Request req) const {
+  std::promise<tensor::Tensor> promise;
+  std::future<tensor::Tensor> fut = promise.get_future();
+  if (workers_.empty()) {
+    // executor_threads == 0: evaluate on the submitting thread; the
+    // returned future is already satisfied.
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      ++exec_counters_.submitted;
+    }
+    try {
+      promise.set_value(evaluate(req));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    ++exec_counters_.completed;
+    return fut;
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  PT_REQUIRE(!stopping_, "serve: submit on a stopped server");
+  if (queue_.size() >= opts_.queue_depth) {
+    // Admission control: a full queue blocks the client instead of
+    // growing the queue — overload degrades to latency, not memory.
+    ++exec_counters_.admission_waits;
+    queue_not_full_.wait(lock, [&] {
+      return queue_.size() < opts_.queue_depth || stopping_;
+    });
+    PT_REQUIRE(!stopping_, "serve: submit on a stopped server");
+  }
+  queue_.push_back(Job{std::move(req), std::move(promise)});
+  ++exec_counters_.submitted;
+  exec_counters_.peak_queue =
+      std::max(exec_counters_.peak_queue, queue_.size());
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return fut;
+}
+
+void QueryServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping, and the queue has drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    // Count completion BEFORE resolving the future, so a client that has
+    // seen every future resolve also sees completed == submitted.
+    try {
+      tensor::Tensor result = evaluate(job.req);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++exec_counters_.completed;
+      }
+      job.promise.set_value(std::move(result));
+    } catch (...) {
+      // A malformed request (bad box, uncovered range) surfaces on the
+      // client's future; the worker keeps serving.
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ++exec_counters_.completed;
+      }
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+double QueryServer::element(std::size_t a, std::uint64_t step,
+                            std::span<const std::size_t> idx) const {
+  const tensor::Dims sdims = step_dims(a);
+  PT_REQUIRE(idx.size() == sdims.size(),
+             "serve: element index arity " << idx.size()
+                                           << " != step order "
+                                           << sdims.size());
+  Request req;
+  req.archive = a;
+  req.step_lo = step;
+  req.step_hi = step + 1;
+  req.box.resize(sdims.size());
+  for (std::size_t n = 0; n < sdims.size(); ++n) {
+    PT_REQUIRE(idx[n] < sdims[n],
+               "serve: element index out of bounds in mode " << n);
+    req.box[n] = {idx[n], idx[n] + 1};
+  }
+  return evaluate(req)[0];
+}
+
+std::vector<double> QueryServer::fiber(
+    std::size_t a, std::uint64_t step, int mode,
+    std::span<const std::size_t> idx) const {
+  const tensor::Dims sdims = step_dims(a);
+  const int sorder = static_cast<int>(sdims.size());
+  PT_REQUIRE(mode >= 0 && mode <= sorder,
+             "serve: fiber mode " << mode << " out of range (time mode is "
+                                  << sorder << ")");
+  PT_REQUIRE(idx.size() == sdims.size(),
+             "serve: fiber index arity " << idx.size() << " != step order "
+                                         << sdims.size());
+  Request req;
+  req.archive = a;
+  req.box.resize(sdims.size());
+  for (int n = 0; n < sorder; ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    if (n == mode) {
+      req.box[un] = {0, sdims[un]};
+    } else {
+      PT_REQUIRE(idx[un] < sdims[un],
+                 "serve: fiber index out of bounds in mode " << n);
+      req.box[un] = {idx[un], idx[un] + 1};
+    }
+  }
+  if (mode == sorder) {
+    // Time fiber: all archived steps, spanning window boundaries.
+    req.step_lo = 0;
+    req.step_hi = num_steps(a);
+  } else {
+    req.step_lo = step;
+    req.step_hi = step + 1;
+  }
+  const tensor::Tensor t = evaluate(req);
+  return {t.data(), t.data() + t.size()};
+}
+
+tensor::Tensor QueryServer::time_range(std::size_t a, std::uint64_t lo,
+                                       std::uint64_t hi) const {
+  Request req;
+  req.archive = a;
+  req.step_lo = lo;
+  req.step_hi = hi;
+  return evaluate(req);
+}
+
+ExecutorCounters QueryServer::executor_counters() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return exec_counters_;
+}
+
+std::size_t QueryServer::queue_size() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+}  // namespace ptucker::serve

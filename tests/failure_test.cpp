@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/st_hosvd.hpp"
+#include "core/streaming.hpp"
 #include "data/synthetic.hpp"
 #include "dist/grid.hpp"
 #include "pario/model_io.hpp"
@@ -243,6 +244,46 @@ TEST(Failure, OverflowingOffsetMathThrowsCleanly) {
   const std::vector<int> grid{1, 1, 1};
   EXPECT_THROW((void)pario::ptz1_file_bytes(absurd, grid, {}),
                InvalidArgument);
+}
+
+TEST(Failure, TimeDistributedReconstructGridRejected) {
+  // StreamingReconstructor stitches entry outputs along time locally, so a
+  // grid that distributes the time mode is a checked InvalidArgument (the
+  // message points at the spatial modes and serve::QueryServer) — never a
+  // hang or a silently wrong stitch. Regression for the serve PR: the
+  // restriction must hold even now that the server has a grid-free path.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "ptucker_fail_tgrid").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string archive = dir + "/models.pta";
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    const Dims step_dims{4, 3, 2};
+    pario::archive_create(archive, comm, step_dims, -1, 4);
+    Dims dims = step_dims;
+    dims.push_back(2);
+    auto wgrid = dist::make_grid(comm, {2, 1, 1, 1});
+    const DistTensor x =
+        data::make_low_rank(wgrid, dims, Dims{2, 2, 2, 2}, 21, 0.0);
+    core::SthosvdOptions opts;
+    opts.epsilon = 1e-6;
+    const auto result = core::st_hosvd(x, opts);
+    pario::archive_append_model(
+        archive, 0, 1e-6, result.tucker.core,
+        std::span<const tensor::Matrix>(result.tucker.factors));
+    const core::StreamingReconstructor recon(archive);
+    // Time extent 2: rejected with a checked error on every rank.
+    auto tgrid = dist::make_grid(comm, {1, 1, 1, 2});
+    EXPECT_THROW((void)recon.reconstruct_steps(tgrid, 0, 2),
+                 InvalidArgument);
+    // Time extent 1 on the same ranks works.
+    auto sgrid = dist::make_grid(comm, {2, 1, 1, 1});
+    const DistTensor out = recon.reconstruct_steps(sgrid, 0, 2);
+    EXPECT_EQ(out.global_dims(), dims);
+  });
+  fs::remove_all(dir);
 }
 
 TEST(Failure, ZeroSizedTensorNormIsZero) {

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
 #include "core/query.hpp"
 #include "core/reconstruct.hpp"
 #include "core/seq/seq_tucker.hpp"
 #include "core/st_hosvd.hpp"
+#include "core/streaming.hpp"
 #include "data/synthetic.hpp"
 #include "dist/grid.hpp"
+#include "serve/query_server.hpp"
 #include "test_utils.hpp"
 
 namespace ptucker {
@@ -132,6 +138,145 @@ TEST(Query, RejectsOutOfRangeFiberModeAndIndex) {
   EXPECT_THROW((void)query.fiber(0, bad_other), InvalidArgument);
   const std::size_t bad_skipped[] = {6, 2};
   EXPECT_THROW((void)query.fiber(0, bad_skipped), InvalidArgument);
+}
+
+/// Archive fixture for the time-range query tests: two 2-step windows of
+/// a low-rank field, no normalization (exact shapes are what matters).
+std::string make_time_archive(const char* name, const Dims& step_dims,
+                              std::size_t windows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  run_ranks(2, [&](mps::Comm& comm) {
+    std::vector<int> shape(step_dims.size() + 1, 1);
+    shape[0] = 2;
+    auto grid = dist::make_grid(comm, shape);
+    pario::archive_create(path, comm, step_dims, -1, 8);
+    for (std::size_t w = 0; w < windows; ++w) {
+      Dims dims = step_dims;
+      dims.push_back(2);
+      const DistTensor x = data::make_low_rank(
+          grid, dims, Dims(dims.size(), 2), 41 + w, 0.0);
+      core::SthosvdOptions opts;
+      opts.epsilon = 1e-6;
+      const auto result = core::st_hosvd(x, opts);
+      pario::archive_append_model(
+          path, 2 * w, 1e-6, result.tucker.core,
+          std::span<const tensor::Matrix>(result.tucker.factors));
+    }
+  });
+  return path;
+}
+
+TEST(TimeRangeQuery, OutOfRangeStepsThrow) {
+  const Dims step_dims{5, 4, 3};
+  const std::string path =
+      make_time_archive("ptucker_trq_oob.pta", step_dims, 2);
+  serve::ServerOptions opts;
+  opts.executor_threads = 0;
+  const serve::QueryServer server({path}, opts);
+  EXPECT_EQ(server.num_steps(0), 4u);
+  // Past the archived end, through every route.
+  EXPECT_THROW((void)server.time_range(0, 2, 5), InvalidArgument);
+  EXPECT_THROW((void)server.time_range(0, 4, 5), InvalidArgument);
+  const std::size_t idx[] = {0, 0, 0};
+  EXPECT_THROW((void)server.element(0, 4, idx), InvalidArgument);
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1, 1});
+    const core::StreamingReconstructor recon(path);
+    EXPECT_THROW((void)recon.reconstruct_steps(grid, 2, 5),
+                 InvalidArgument);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(TimeRangeQuery, InvertedAndEmptyRangesThrow) {
+  const Dims step_dims{5, 4, 3};
+  const std::string path =
+      make_time_archive("ptucker_trq_inv.pta", step_dims, 2);
+  serve::ServerOptions opts;
+  opts.executor_threads = 0;
+  const serve::QueryServer server({path}, opts);
+  EXPECT_THROW((void)server.time_range(0, 2, 2), InvalidArgument);
+  EXPECT_THROW((void)server.time_range(0, 3, 1), InvalidArgument);
+  // An inverted or out-of-bounds spatial box throws too.
+  serve::Request req{0, 0, 2, {{3, 2}, {0, 4}, {0, 3}}};
+  EXPECT_THROW((void)server.subtensor(req), InvalidArgument);
+  req.box = {{0, 6}, {0, 4}, {0, 3}};
+  EXPECT_THROW((void)server.subtensor(req), InvalidArgument);
+  req.box = {{0, 5}, {0, 4}};  // wrong arity
+  EXPECT_THROW((void)server.subtensor(req), InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(TimeRangeQuery, WindowBoundarySpanMatchesSingleEntryAnswers) {
+  const Dims step_dims{5, 4, 3};
+  const std::string path =
+      make_time_archive("ptucker_trq_span.pta", step_dims, 2);
+  serve::ServerOptions opts;
+  opts.executor_threads = 0;
+  const serve::QueryServer server({path}, opts);
+  // [1, 3) straddles the entry boundary at step 2. The stitched answer
+  // must equal the two single-entry answers laid side by side, bit for
+  // bit — stitching adds nothing and loses nothing.
+  const Tensor span = server.time_range(0, 1, 3);
+  const Tensor left = server.time_range(0, 1, 2);
+  const Tensor right = server.time_range(0, 2, 3);
+  ASSERT_EQ(span.size(), left.size() + right.size());
+  EXPECT_EQ(std::memcmp(span.data(), left.data(),
+                        left.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(span.data() + left.size(), right.data(),
+                        right.size() * sizeof(double)),
+            0);
+  // And it bit-matches the distributed query path on one rank.
+  Tensor want;
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1, 1});
+    const core::StreamingReconstructor recon(path);
+    want = recon.reconstruct_steps(grid, 1, 3).local();
+  });
+  ASSERT_EQ(span.dims(), want.dims());
+  EXPECT_EQ(std::memcmp(span.data(), want.data(),
+                        span.size() * sizeof(double)),
+            0);
+  std::filesystem::remove(path);
+}
+
+TEST(TimeRangeQuery, UncommittedTailEntriesAreInvisible) {
+  const Dims step_dims{5, 4, 3};
+  const std::string path =
+      make_time_archive("ptucker_trq_tail.pta", step_dims, 2);
+  // Roll the commit point back to one entry: the second entry's table
+  // slot and payload bytes are still in the file, but uncommitted — every
+  // query path must treat the archive as 2 steps long.
+  {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t one = 1;
+    // count field offset: magic + u64 * (version, order, 3 step dims,
+    // species_mode, capacity) = 4 + 8 * 7 (see archive_io.hpp).
+    fs.seekp(4 + 8 * 7);
+    fs.write(reinterpret_cast<const char*>(&one), sizeof(one));
+  }
+  serve::ServerOptions opts;
+  opts.executor_threads = 0;
+  const serve::QueryServer server({path}, opts);
+  EXPECT_EQ(server.num_steps(0), 2u);
+  EXPECT_THROW((void)server.time_range(0, 0, 4), InvalidArgument);
+  EXPECT_THROW((void)server.time_range(0, 2, 3), InvalidArgument);
+  // The committed entry still answers, bit-matching the oracle.
+  const Tensor got = server.time_range(0, 0, 2);
+  Tensor want;
+  run_ranks(1, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {1, 1, 1, 1});
+    const core::StreamingReconstructor recon(path);
+    EXPECT_EQ(recon.num_steps(), 2u);
+    want = recon.reconstruct_steps(grid, 0, 2).local();
+  });
+  ASSERT_EQ(got.dims(), want.dims());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(double)),
+            0);
+  std::filesystem::remove(path);
 }
 
 TEST(GramOverlap, OverlappedRingMatchesDefault) {
