@@ -23,6 +23,8 @@
 #include "bench_common.hpp"
 #include "core/st_hosvd.hpp"
 #include "dist/grid.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pario/archive_io.hpp"
 #include "serve/query_server.hpp"
 #include "util/cli.hpp"
@@ -34,11 +36,18 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double percentile(const std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const double pos = p / 100.0 * static_cast<double>(sorted_us.size() - 1);
-  const std::size_t i = static_cast<std::size_t>(pos + 0.5);
-  return sorted_us[std::min(i, sorted_us.size() - 1)];
+/// Exact nearest-rank percentile of the sorted sample: the k-th smallest,
+/// k = ceil(p/100 * n). Kept as the oracle the shared obs histogram is
+/// checked against — same rank rule, so the exact value must fall inside
+/// the histogram's reported bucket.
+std::uint64_t exact_percentile(const std::vector<std::uint64_t>& sorted_us,
+                               double p) {
+  if (sorted_us.empty()) return 0;
+  const auto n = static_cast<double>(sorted_us.size());
+  auto rank = static_cast<std::size_t>(p / 100.0 * n + 0.9999999999);
+  rank = std::max<std::size_t>(rank, 1);
+  rank = std::min(rank, sorted_us.size());
+  return sorted_us[rank - 1];
 }
 
 /// Deterministic single-step queries, round-robin over the archive entries
@@ -86,7 +95,11 @@ ScenarioResult run_clients(const serve::QueryServer& server,
                            std::size_t clients, bool via_executor,
                            std::vector<tensor::Tensor>* answers_out = nullptr) {
   const serve::CacheCounters before = server.cache().counters();
-  std::vector<std::vector<double>> lat(clients);
+  // Latencies go to the shared obs histogram (the same digest the server
+  // exports for serve.query_us) AND to an exact per-thread list used to
+  // cross-check the histogram's log-bucketed percentiles below.
+  auto hist = std::make_unique<obs::HistogramData>();
+  std::vector<std::vector<std::uint64_t>> lat(clients);
   if (answers_out) answers_out->assign(qs.size(), tensor::Tensor{});
   std::atomic<double> checksum{0.0};
 
@@ -106,8 +119,11 @@ ScenarioResult run_clients(const serve::QueryServer& server,
         tensor::Tensor ans = via_executor ? server.submit(qs[i]).get()
                                           : server.subtensor(qs[i]);
         const auto q1 = Clock::now();
-        lat[c].push_back(
-            std::chrono::duration<double, std::micro>(q1 - q0).count());
+        const auto us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                .count());
+        hist->record(us);
+        lat[c].push_back(us);
         local += ans.data()[0];
         if (answers_out) (*answers_out)[i] = std::move(ans);
       }
@@ -119,16 +135,32 @@ ScenarioResult run_clients(const serve::QueryServer& server,
   for (auto& t : threads) t.join();
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  std::vector<double> all;
+  std::vector<std::uint64_t> all;
   for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
+
+  // The histogram is exact to the bucket (~12.5% relative): the true
+  // nearest-rank sample must lie inside the bucket each percentile names.
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const obs::HistogramData::Bounds b = hist->percentile_bounds(p);
+    const std::uint64_t exact = exact_percentile(all, p);
+    if (exact < b.lo || exact >= b.hi) {
+      std::fprintf(stderr,
+                   "serve_qps: histogram p%.0f bucket [%llu, %llu) does not "
+                   "contain the exact percentile %llu\n",
+                   p, static_cast<unsigned long long>(b.lo),
+                   static_cast<unsigned long long>(b.hi),
+                   static_cast<unsigned long long>(exact));
+      std::exit(1);
+    }
+  }
 
   const serve::CacheCounters after = server.cache().counters();
   const std::size_t lookups = after.lookups - before.lookups;
   ScenarioResult r;
-  r.p50_us = percentile(all, 50);
-  r.p90_us = percentile(all, 90);
-  r.p99_us = percentile(all, 99);
+  r.p50_us = static_cast<double>(hist->percentile(50));
+  r.p90_us = static_cast<double>(hist->percentile(90));
+  r.p99_us = static_cast<double>(hist->percentile(99));
   r.qps = static_cast<double>(qs.size()) / wall;
   r.hit_rate = lookups == 0 ? 0.0
                             : static_cast<double>(after.hits - before.hits) /
@@ -154,7 +186,22 @@ int main(int argc, char** argv) {
   args.add_int("queue_depth", 8, "executor admission-queue depth");
   args.add_double("eps", 1e-4, "per-window compression eps");
   args.add_flag("smoke", "assert warm answers bit-match cold, then exit");
+  args.add_string("trace", "",
+                  "write a chrome://tracing JSON of the run to this path");
   args.parse(argc, argv);
+
+  const std::string trace_path = args.get_string("trace");
+  if (!trace_path.empty()) obs::TraceSession::start(1 << 20);
+  auto finish_trace = [&] {
+    if (trace_path.empty()) return;
+    obs::TraceSession::stop();
+    obs::TraceSession::write_chrome_json(trace_path);
+    std::printf("trace: %llu events -> %s (%llu dropped)\n",
+                static_cast<unsigned long long>(
+                    obs::TraceSession::events().size()),
+                trace_path.c_str(),
+                static_cast<unsigned long long>(obs::TraceSession::dropped()));
+  };
 
   const std::size_t dim = static_cast<std::size_t>(args.get_int("dim"));
   const std::size_t species =
@@ -252,9 +299,26 @@ int main(int argc, char** argv) {
                 qs.size(), mismatches, rw.hit_rate);
     std::printf("smoke: cold p99 %.1f us, warm p99 %.1f us\n", rc.p99_us,
                 rw.p99_us);
+    // Exercise the live-introspection path: the unified registry must see
+    // the serve-layer counters this run just generated.
+    const obs::Snapshot snap = obs::registry().snapshot("serve.");
+    std::printf("smoke: registry serve.queries %llu, serve.cache.hits %llu\n",
+                static_cast<unsigned long long>(
+                    snap.counters.count("serve.queries")
+                        ? snap.counters.at("serve.queries") : 0),
+                static_cast<unsigned long long>(
+                    snap.counters.count("serve.cache.hits")
+                        ? snap.counters.at("serve.cache.hits") : 0));
+    finish_trace();
     fs::remove_all(dir);
     if (mismatches != 0 || rw.hit_rate <= 0.5) {
       std::fprintf(stderr, "serve smoke FAILED\n");
+      return 1;
+    }
+    if (obs::kEnabled &&
+        (!snap.counters.count("serve.queries") ||
+         snap.counters.at("serve.queries") < qs.size())) {
+      std::fprintf(stderr, "serve smoke FAILED: registry missed queries\n");
       return 1;
     }
     std::printf("serve smoke ok: warm answers bit-match cold\n");
@@ -317,6 +381,7 @@ int main(int argc, char** argv) {
       "entry load per query, and the bounded executor turns overload into "
       "queueing instead of memory growth.");
 
+  finish_trace();
   fs::remove_all(dir);
   return 0;
 }

@@ -5,8 +5,8 @@
 /// element, one fiber, a spatial sub-box, a time range — each reconstructed
 /// on demand from the covering window models, never materializing a full
 /// window. Queries can also be submitted asynchronously through the
-/// server's bounded executor; the demo ends by printing the panel-cache and
-/// executor counters.
+/// server's bounded executor; the demo ends with a per-query trace
+/// breakdown and the server's live stats_report().
 ///
 ///   ./query_server --ranks 2 --dim 24 --species 6 --windows 4 --window 3
 
@@ -22,6 +22,7 @@
 #include "pario/archive_io.hpp"
 #include "serve/query_server.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 using namespace ptucker;
 
@@ -156,12 +157,29 @@ int main(int argc, char** argv) {
   std::printf("executor: %zu async single-step queries done (sum %.4f)\n",
               pending.size(), total);
 
-  const serve::CacheCounters cc = server.cache().counters();
-  const serve::ExecutorCounters ec = server.executor_counters();
-  std::printf("cache: %zu lookups, %zu hits, %zu misses, %zu evictions\n",
-              cc.lookups, cc.hits, cc.misses, cc.evictions);
-  std::printf("executor: %zu submitted, %zu completed, %zu blocked submits\n",
-              ec.submitted, ec.completed, ec.admission_waits);
+  // Per-query introspection: re-run the sub-box query traced. Every panel
+  // it needs is now cached, so the breakdown shows the hit path.
+  serve::QueryTrace qt;
+  const tensor::Tensor traced = server.subtensor_traced(req, qt);
+  PT_CHECK(traced.size() == box.size(),
+           "traced query disagrees with the untraced one");
+  std::printf(
+      "traced query: %zu entries (%zu hit, %zu miss), %llu bytes loaded\n",
+      qt.entries_touched, qt.cache_hits, qt.cache_misses,
+      static_cast<unsigned long long>(qt.bytes_loaded));
+  std::printf(
+      "  route %llu us | load %llu us | reconstruct %llu us | "
+      "denormalize %llu us | stitch %llu us | total %llu us\n",
+      static_cast<unsigned long long>(qt.route_us),
+      static_cast<unsigned long long>(qt.load_us),
+      static_cast<unsigned long long>(qt.reconstruct_us),
+      static_cast<unsigned long long>(qt.denormalize_us),
+      static_cast<unsigned long long>(qt.stitch_us),
+      static_cast<unsigned long long>(qt.total_us));
+
+  // Live introspection: the whole stack (server, cache, executor, plus the
+  // process-wide obs registry) in one text report.
+  std::printf("--- stats_report ---\n%s", server.stats_report().c_str());
 
   if (temp) fs::remove_all(fs::path(archive).parent_path());
   return 0;

@@ -26,6 +26,7 @@
 #include "core/streaming.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
+#include "obs/trace.hpp"
 #include "pario/block_file.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
   args.add_string("archive", "",
                   "output PTA1 archive (default: <dir>/models.pta)");
   args.add_flag("no_normalize", "skip the per-species normalization");
+  args.add_string("trace", "",
+                  "write a chrome://tracing JSON of the run to this path");
   args.parse(argc, argv);
 
   const int p = static_cast<int>(args.get_int("ranks"));
@@ -86,6 +89,9 @@ int main(int argc, char** argv) {
   if (archive.empty()) archive = dir + "/models.pta";
 
   const tensor::Dims step_dims{dim, dim, species};
+
+  const std::string trace_path = args.get_string("trace");
+  if (!trace_path.empty()) obs::TraceSession::start();
 
   mps::run(p, [&](mps::Comm& comm) {
     auto spatial_grid =
@@ -140,5 +146,11 @@ int main(int argc, char** argv) {
           reader.entry_capacity());
     }
   });
+  if (!trace_path.empty()) {
+    obs::TraceSession::stop();
+    obs::TraceSession::write_chrome_json(trace_path);
+    std::printf("trace: %zu events -> %s\n",
+                obs::TraceSession::events().size(), trace_path.c_str());
+  }
   return 0;
 }

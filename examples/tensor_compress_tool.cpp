@@ -19,6 +19,7 @@
 #include "data/synthetic.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
+#include "obs/trace.hpp"
 #include "pario/block_file.hpp"
 #include "tensor/tensor_io.hpp"
 #include "util/cli.hpp"
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
   args.add_double("eps", 1e-3, "max normalized RMS error");
   args.add_int("ranks", 8, "number of (thread) ranks");
   args.add_flag("hooi", "refine with HOOI sweeps after ST-HOSVD");
+  args.add_string("trace", "",
+                  "write a chrome://tracing JSON of the run to this path");
   args.parse(argc, argv);
 
   if (!args.get_string("demo").empty()) {
@@ -61,6 +64,9 @@ int main(int argc, char** argv) {
   }
   const int p = static_cast<int>(args.get_int("ranks"));
   const double eps = args.get_double("eps");
+
+  const std::string trace_path = args.get_string("trace");
+  if (!trace_path.empty()) obs::TraceSession::start();
 
   mps::run(p, [&](mps::Comm& comm) {
     // Every rank reads the header itself and preads exactly its own block
@@ -95,5 +101,11 @@ int main(int argc, char** argv) {
       std::printf("  time        : %.2fs on %d ranks\n", seconds, p);
     }
   });
+  if (!trace_path.empty()) {
+    obs::TraceSession::stop();
+    obs::TraceSession::write_chrome_json(trace_path);
+    std::printf("trace: %zu events -> %s\n",
+                obs::TraceSession::events().size(), trace_path.c_str());
+  }
   return 0;
 }

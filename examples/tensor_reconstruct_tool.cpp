@@ -25,6 +25,7 @@
 #include "core/tucker_io.hpp"
 #include "dist/grid.hpp"
 #include "mps/runtime.hpp"
+#include "obs/trace.hpp"
 #include "pario/block_file.hpp"
 #include "pario/model_io.hpp"
 #include "pario/timestep_reader.hpp"
@@ -305,6 +306,8 @@ int main(int argc, char** argv) {
                   "fail unless error vs --reference is <= this bound "
                   "(per covered window for an archive)");
   args.add_int("ranks", 8, "number of (thread) ranks");
+  args.add_string("trace", "",
+                  "write a chrome://tracing JSON of the run to this path");
   args.parse(argc, argv);
 
   const std::string model_path = args.get_string("model");
@@ -312,6 +315,9 @@ int main(int argc, char** argv) {
   PT_REQUIRE(!model_path.empty() && !output.empty(),
              "--model and --output are required");
   const int p = static_cast<int>(args.get_int("ranks"));
+
+  const std::string trace_path = args.get_string("trace");
+  if (!trace_path.empty()) obs::TraceSession::start();
 
   int exit_code = 0;
   mps::run(p, [&](mps::Comm& comm) {
@@ -326,5 +332,11 @@ int main(int argc, char** argv) {
     }
     if (comm.rank() == 0) exit_code = code;
   });
+  if (!trace_path.empty()) {
+    obs::TraceSession::stop();
+    obs::TraceSession::write_chrome_json(trace_path);
+    std::printf("trace: %zu events -> %s\n",
+                obs::TraceSession::events().size(), trace_path.c_str());
+  }
   return exit_code;
 }

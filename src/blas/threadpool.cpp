@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace ptucker::blas {
@@ -12,6 +13,28 @@ namespace ptucker::blas {
 namespace {
 std::atomic<std::uint64_t> g_workers_spawned{0};
 thread_local bool t_in_worker = false;
+
+/// Pool utilization metrics ("blas.pool.*"): jobs is every run() call,
+/// serial_jobs the parts==1 fast path, parts the total fan-out (so
+/// parts/jobs is the mean parallel width), workers the spawn count.
+struct PoolCounters {
+  obs::Counter jobs;
+  obs::Counter serial_jobs;
+  obs::Counter parts;
+  obs::Counter workers_spawned;
+};
+
+PoolCounters& pool_counters() {
+  static PoolCounters* c = [] {
+    auto* t = new PoolCounters;
+    t->jobs = obs::registry().counter("blas.pool.jobs");
+    t->serial_jobs = obs::registry().counter("blas.pool.serial_jobs");
+    t->parts = obs::registry().counter("blas.pool.parts");
+    t->workers_spawned = obs::registry().counter("blas.pool.workers_spawned");
+    return t;
+  }();
+  return *c;
+}
 }  // namespace
 
 struct ThreadPool::State {
@@ -94,6 +117,7 @@ void ThreadPool::ensure_workers(int count) {
     const int index = static_cast<int>(workers_.size());
     workers_.emplace_back([this, index] { worker_loop(index); });
     g_workers_spawned.fetch_add(1, std::memory_order_relaxed);
+    pool_counters().workers_spawned.inc();
   }
   // Wait for every new worker to adopt the current generation; run() may
   // bump it immediately after we return.
@@ -106,7 +130,10 @@ void ThreadPool::ensure_workers(int count) {
 void ThreadPool::run(int parts, const std::function<void(int)>& fn) {
   PT_REQUIRE(parts >= 1, "ThreadPool::run: parts must be >= 1");
   PT_REQUIRE(!t_in_worker, "ThreadPool::run: nested fork from a worker");
+  pool_counters().jobs.inc();
+  pool_counters().parts.add(static_cast<std::uint64_t>(parts));
   if (parts == 1) {
+    pool_counters().serial_jobs.inc();
     fn(0);
     return;
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "costmodel/tucker_model.hpp"
+#include "obs/trace.hpp"
 
 namespace ptucker::core {
 
@@ -79,6 +80,9 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
   double tail_total = 0.0;
 
   for (int n : result.mode_order_used) {
+    // Span names match the KernelTimers buckets so a trace of one run
+    // shows the Fig. 8 decomposition as a timeline, mode in the arg.
+    obs::Span span_mode("st_hosvd.mode", n);
     const std::size_t fixed_rank =
         options.fixed_ranks.empty()
             ? std::size_t{0}
@@ -93,9 +97,11 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
 
     dist::FactorResult factor;
     if (route == FactorRoute::Randomized) {
-      dist::SketchFactorResult sk =
-          dist::factor_via_sketch(y, n, select, options.sketch,
-                                  options.timers);
+      dist::SketchFactorResult sk = [&] {
+        obs::Span span("Sketch", n);
+        return dist::factor_via_sketch(y, n, select, options.sketch,
+                                       options.timers);
+      }();
       result.sketches.push_back({n, sk.seed, sk.width, sk.power_iterations,
                                  !sk.certified});
       if (sk.certified) {
@@ -111,11 +117,15 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
       }
     }
     if (route == FactorRoute::Tsqr) {
+      obs::Span span("TSQR", n);
       factor = dist::factor_via_tsqr(y, n, select, options.timers);
       result.tsqr_modes.push_back(n);
     } else if (route == FactorRoute::Gram) {
-      const dist::GramColumns s =
-          dist::gram(y, n, options.gram_algo, options.timers);
+      const dist::GramColumns s = [&] {
+        obs::Span span("Gram", n);
+        return dist::gram(y, n, options.gram_algo, options.timers);
+      }();
+      obs::Span span("Evecs", n);
       factor = dist::eigenvectors(s, y.grid(), n, select, options.eig_algo,
                                   options.timers);
     }
@@ -130,7 +140,10 @@ SthosvdResult st_hosvd(const DistTensor& x, const SthosvdOptions& options) {
 
     // Truncate: Y <- Y x_n U^T.
     const Matrix ut = factor.u.transposed();
-    y = dist::ttm(y, ut, n, options.ttm_algo, options.timers);
+    {
+      obs::Span span("TTM", n);
+      y = dist::ttm(y, ut, n, options.ttm_algo, options.timers);
+    }
     result.tucker.factors[static_cast<std::size_t>(n)] = std::move(factor.u);
   }
 

@@ -8,6 +8,7 @@
 #include "core/reconstruct.hpp"
 #include "costmodel/tucker_model.hpp"
 #include "dist/grid.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ptucker::core {
@@ -85,21 +86,35 @@ bool StreamingCompressor::compress_next(WindowResult* out) {
   if (next_ >= reader_.num_steps()) return false;
   const std::size_t count = std::min(window_, reader_.num_steps() - next_);
   util::Timer timer;
-  dist::DistTensor x = reader_.read_window(grid_, next_, count);
+  obs::Span span_window("stream.window",
+                        static_cast<std::int64_t>(next_));
+  dist::DistTensor x = [&] {
+    obs::Span span("stream.read", static_cast<std::int64_t>(next_));
+    return reader_.read_window(grid_, next_, count);
+  }();
   data::NormalizationStats stats;
   const bool normalize = opts_.species_mode >= 0;
-  if (normalize) stats = data::normalize_species(x, opts_.species_mode);
-  const SthosvdResult result = st_hosvd(x, opts_.sthosvd);
+  if (normalize) {
+    obs::Span span("stream.normalize", static_cast<std::int64_t>(next_));
+    stats = data::normalize_species(x, opts_.species_mode);
+  }
+  const SthosvdResult result = [&] {
+    obs::Span span("stream.compress", static_cast<std::int64_t>(next_));
+    return st_hosvd(x, opts_.sthosvd);
+  }();
   // The entry's recorded eps is the guarantee the window was compressed
   // under; with fixed ranks there is no requested eps, so the achieved
   // eq. 3 bound is recorded instead.
   const double entry_eps = opts_.sthosvd.fixed_ranks.empty()
                                ? opts_.sthosvd.epsilon
                                : result.error_bound;
-  pario::archive_append_model(
-      archive_path_, next_, entry_eps, result.tucker.core,
-      std::span<const tensor::Matrix>(result.tucker.factors),
-      normalize ? &stats : nullptr);
+  {
+    obs::Span span("stream.append", static_cast<std::int64_t>(next_));
+    pario::archive_append_model(
+        archive_path_, next_, entry_eps, result.tucker.core,
+        std::span<const tensor::Matrix>(result.tucker.factors),
+        normalize ? &stats : nullptr);
+  }
   if (out != nullptr) {
     out->step_first = next_;
     out->step_count = count;

@@ -68,6 +68,7 @@ inline std::vector<std::size_t> offsets_from_counts(
 template <class T>
 void broadcast(const Comm& comm, std::span<T> buf, int root) {
   const int p = comm.size();
+  comm.note_collective(OpKind::Broadcast, buf.size_bytes());
   if (p == 1) return;
   OpScope scope(OpKind::Broadcast);
   const int vr = (comm.rank() - root + p) % p;
@@ -99,6 +100,7 @@ template <class T, class Op = Sum<T>>
 void reduce(const Comm& comm, std::span<const T> in, std::span<T> out,
             int root, Op op = {}) {
   const int p = comm.size();
+  comm.note_collective(OpKind::Reduce, in.size_bytes());
   if (p == 1) {
     PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
     std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
@@ -138,6 +140,7 @@ template <class T>
 void allgatherv(const Comm& comm, std::span<const T> mine, std::span<T> all,
                 std::span<const std::size_t> counts) {
   const int p = comm.size();
+  comm.note_collective(OpKind::AllGather, all.size_bytes());
   PT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv: counts size");
   const auto offsets = detail::offsets_from_counts(counts);
   PT_CHECK(all.size() == offsets[static_cast<std::size_t>(p)],
@@ -182,6 +185,7 @@ template <class T, class Op = Sum<T>>
 void reduce_scatter(const Comm& comm, std::span<const T> in, std::span<T> out,
                     std::span<const std::size_t> counts, Op op = {}) {
   const int p = comm.size();
+  comm.note_collective(OpKind::ReduceScatter, in.size_bytes());
   PT_CHECK(static_cast<int>(counts.size()) == p, "reduce_scatter: counts");
   const auto offsets = detail::offsets_from_counts(counts);
   PT_CHECK(in.size() == offsets[static_cast<std::size_t>(p)],
@@ -225,6 +229,7 @@ void reduce_scatter(const Comm& comm, std::span<const T> in, std::span<T> out,
 template <class T, class Op = Sum<T>>
 void allreduce(const Comm& comm, std::span<T> inout, Op op = {}) {
   const int p = comm.size();
+  comm.note_collective(OpKind::AllReduce, inout.size_bytes());
   if (p == 1 || inout.empty()) return;
   OpScope scope(OpKind::AllReduce);
   const std::size_t count = inout.size();
@@ -300,6 +305,8 @@ template <class T>
     const Comm& comm, std::span<const T> mine, int root,
     RootedAlgo algo = RootedAlgo::Tree) {
   const int p = comm.size();
+  // Payload sizes legitimately differ per rank: fingerprint the op only.
+  comm.note_collective(OpKind::Gather, 0);
   OpScope scope(OpKind::Gather);
   if (algo == RootedAlgo::Flat) {
     if (comm.rank() != root) {
@@ -374,6 +381,8 @@ template <class T>
     const Comm& comm, const std::vector<std::vector<T>>& blocks, int root,
     RootedAlgo algo = RootedAlgo::Tree) {
   const int p = comm.size();
+  // Blocks are only known at the root: fingerprint the op only.
+  comm.note_collective(OpKind::Scatter, 0);
   OpScope scope(OpKind::Scatter);
   if (algo == RootedAlgo::Flat) {
     if (comm.rank() == root) {

@@ -3,8 +3,46 @@
 #include <algorithm>
 
 #include "mps/collectives.hpp"
+#include "obs/registry.hpp"
 
 namespace ptucker::mps {
+
+namespace {
+
+/// Registry handles for per-op message/byte counters, resolved once. The
+/// obs registry is additive to CommStats (which the cost-model tests read):
+/// same numbers, exported under "mps.*" so one snapshot sees the whole
+/// stack.
+struct OpCounterPair {
+  obs::Counter messages;
+  obs::Counter bytes;
+};
+
+struct OpCounterTable {
+  std::array<OpCounterPair, CommStats::kNumOps> per_op;
+  obs::Counter messages;
+  obs::Counter bytes;
+};
+
+OpCounterTable& op_counters() {
+  static OpCounterTable* table = [] {
+    auto* t = new OpCounterTable;
+    for (int i = 0; i < CommStats::kNumOps; ++i) {
+      const std::string base =
+          std::string("mps.") + op_name(static_cast<OpKind>(i));
+      t->per_op[static_cast<std::size_t>(i)].messages =
+          obs::registry().counter(base + ".messages");
+      t->per_op[static_cast<std::size_t>(i)].bytes =
+          obs::registry().counter(base + ".bytes");
+    }
+    t->messages = obs::registry().counter("mps.messages");
+    t->bytes = obs::registry().counter("mps.bytes");
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
 
 Comm Comm::world(Universe* universe, int my_world_rank) {
   auto state = std::make_shared<State>();
@@ -15,6 +53,7 @@ Comm Comm::world(Universe* universe, int my_world_rank) {
     state->group[static_cast<std::size_t>(r)] = r;
   }
   state->my_rank = my_world_rank;
+  universe->fingerprint_seed(my_world_rank, state->context);
   return Comm(std::move(state));
 }
 
@@ -31,6 +70,15 @@ void Comm::send_bytes(std::span<const std::byte> buf, int dest,
   msg.tag = tag;
   msg.payload.assign(buf.begin(), buf.end());
   my_stats().record(current_op(), buf.size());
+  if constexpr (obs::kEnabled) {
+    OpCounterTable& oc = op_counters();
+    oc.messages.inc();
+    oc.bytes.add(buf.size());
+    OpCounterPair& pair =
+        oc.per_op[static_cast<std::size_t>(current_op())];
+    pair.messages.inc();
+    pair.bytes.add(buf.size());
+  }
   state_->universe->mailbox(world_rank(dest)).push(std::move(msg));
 }
 
@@ -95,11 +143,14 @@ Comm Comm::split(int color, int key) const {
     if (members[i].rank == rank()) state->my_rank = static_cast<int>(i);
   }
   PT_CHECK(state->my_rank >= 0, "split: caller missing from its own group");
+  state->universe->fingerprint_seed(
+      state->group[static_cast<std::size_t>(state->my_rank)], state->context);
   return Comm(std::move(state));
 }
 
 void Comm::barrier() const {
   PT_CHECK(valid(), "barrier on null communicator");
+  note_collective(OpKind::Barrier, 0);
   OpScope scope(OpKind::Barrier);
   const int p = size();
   const int r = rank();

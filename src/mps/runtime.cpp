@@ -18,6 +18,7 @@ int Runtime::world_size() const { return universe_->world_size(); }
 
 void Runtime::run(const std::function<void(Comm&)>& body) {
   universe_->clear_abort();
+  universe_->reset_schedule();
   const int p = universe_->world_size();
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
@@ -56,6 +57,11 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     throw InternalError("parallel region aborted: " +
                         universe_->abort_reason());
   }
+  if (universe_->verify_schedule_enabled()) {
+    // Before assert_quiescent: a divergent schedule usually leaks messages
+    // too, and the schedule diagnosis is the actionable one.
+    universe_->verify_schedule();
+  }
   universe_->assert_quiescent();
 }
 
@@ -71,6 +77,10 @@ void Runtime::reset_stats() { universe_->reset_stats(); }
 
 void Runtime::set_recv_timeout_ms(long ms) {
   universe_->set_recv_timeout(std::chrono::milliseconds(ms));
+}
+
+void Runtime::set_verify_schedule(bool on) {
+  universe_->set_verify_schedule(on);
 }
 
 void run(int world_size, const std::function<void(Comm&)>& body) {

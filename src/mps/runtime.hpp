@@ -45,6 +45,12 @@ class Runtime {
   /// Deadlock-detection timeout for blocking receives (default 120 s).
   void set_recv_timeout_ms(long ms);
 
+  /// Debug mode: fingerprint each rank's collective call sequence per
+  /// communicator and verify they match when run() finishes (throws
+  /// ScheduleMismatchError on divergence). Off by default — adds one
+  /// hash-mix per collective call when on.
+  void set_verify_schedule(bool on);
+
   [[nodiscard]] Universe& universe() { return *universe_; }
 
  private:

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace ptucker::mps {
 
 /// Operation kinds for attribution of p2p traffic.
@@ -68,6 +70,43 @@ struct CommStats {
   }
 
   void clear() { *this = CommStats{}; }
+};
+
+/// Thrown by the debug-mode schedule verifier (parcoach-style collective
+/// matching, see Universe::verify_schedule) when ranks of one communicator
+/// executed divergent collective sequences — the precursor bug class for
+/// the planned async-collective refactor, caught at finalize instead of as
+/// a deadlock or a silently mismatched reduction.
+class ScheduleMismatchError : public Error {
+ public:
+  explicit ScheduleMismatchError(const std::string& what) : Error(what) {}
+};
+
+/// Rolling fingerprint of the collective calls one rank issued on one
+/// communicator context: an order-sensitive FNV-style hash over
+/// (op, payload bytes) plus a call count. Two ranks of the same
+/// communicator with equal (hash, calls) executed the same schedule with
+/// overwhelming probability; any divergence — an extra call, a reordered
+/// pair, a mismatched payload size — changes the hash.
+struct ContextFingerprint {
+  static constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  std::uint64_t hash = kOffset;
+  std::uint64_t calls = 0;
+  /// The most recent call, kept so a mismatch can be reported by name —
+  /// the hash alone cannot be inverted back into an op sequence.
+  OpKind last_kind = OpKind::P2P;  ///< P2P = no collective issued yet
+  std::uint64_t last_bytes = 0;
+
+  void mix(OpKind kind, std::uint64_t bytes) {
+    hash = (hash ^ static_cast<std::uint64_t>(kind)) * kPrime;
+    hash = (hash ^ bytes) * kPrime;
+    ++calls;
+    last_kind = kind;
+    last_bytes = bytes;
+  }
+  bool operator==(const ContextFingerprint&) const = default;
 };
 
 /// The op kind the calling thread is currently executing (collectives set

@@ -1,5 +1,7 @@
 #include "mps/universe.hpp"
 
+#include <sstream>
+
 namespace ptucker::mps {
 
 const char* op_name(OpKind kind) {
@@ -32,6 +34,7 @@ Universe::Universe(int world_size) : world_size_(world_size) {
     mailboxes_.push_back(std::make_unique<Mailbox>(this));
   }
   stats_.resize(static_cast<std::size_t>(world_size));
+  schedules_.resize(static_cast<std::size_t>(world_size));
 }
 
 Mailbox& Universe::mailbox(int world_rank) {
@@ -103,6 +106,60 @@ CommStats Universe::max_stats() const {
 
 void Universe::reset_stats() {
   for (auto& s : stats_) s.stats.clear();
+}
+
+void Universe::fingerprint_seed(int world_rank, std::uint64_t context) {
+  schedules_[static_cast<std::size_t>(world_rank)].contexts[context];
+}
+
+void Universe::fingerprint_record(int world_rank, std::uint64_t context,
+                                  OpKind kind, std::uint64_t bytes) {
+  schedules_[static_cast<std::size_t>(world_rank)].contexts[context].mix(
+      kind, bytes);
+}
+
+void Universe::verify_schedule() const {
+  // Group per-rank entries by context, then require every member of a
+  // context to match the first. Ranks that never saw a context (e.g. the
+  // other color of a split) are legitimately absent and not compared.
+  std::map<std::uint64_t, std::pair<int, ContextFingerprint>> reference;
+  for (int r = 0; r < world_size_; ++r) {
+    for (const auto& [ctx, fp] :
+         schedules_[static_cast<std::size_t>(r)].contexts) {
+      auto [it, inserted] = reference.emplace(ctx, std::make_pair(r, fp));
+      if (inserted) continue;
+      const auto& [ref_rank, ref_fp] = it->second;
+      if (fp == ref_fp) continue;
+      const auto describe = [](std::ostringstream& out,
+                               const ContextFingerprint& f) {
+        out << f.calls << " collective call(s)";
+        if (f.calls > 0) {
+          out << ", last " << op_name(f.last_kind) << " of " << f.last_bytes
+              << " bytes";
+        }
+      };
+      std::ostringstream os;
+      os << "collective schedule mismatch on communicator context " << ctx
+         << ": rank " << ref_rank << " issued ";
+      describe(os, ref_fp);
+      os << " (hash " << std::hex << ref_fp.hash << std::dec
+         << ") but rank " << r << " issued ";
+      describe(os, fp);
+      os << " (hash " << std::hex << fp.hash << std::dec
+         << ") — ranks of one communicator must call the same collectives "
+            "in the same order with the same payload sizes";
+      throw ScheduleMismatchError(os.str());
+    }
+  }
+}
+
+void Universe::reset_schedule() {
+  for (auto& s : schedules_) s.contexts.clear();
+}
+
+const std::map<std::uint64_t, ContextFingerprint>&
+Universe::schedule_fingerprints(int world_rank) const {
+  return schedules_[static_cast<std::size_t>(world_rank)].contexts;
 }
 
 void Universe::assert_quiescent() const {

@@ -8,12 +8,38 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace ptucker::pario {
 
 namespace {
 std::string errno_text() { return std::strerror(errno); }
+
+/// Process-wide I/O counters ("pario.*"): every byte that crosses the
+/// pread/pwrite/fsync boundary, regardless of which layer asked for it.
+struct IoCounters {
+  obs::Counter reads;
+  obs::Counter read_bytes;
+  obs::Counter writes;
+  obs::Counter write_bytes;
+  obs::Counter fsyncs;
+  obs::Counter opens;
+};
+
+IoCounters& io_counters() {
+  static IoCounters* c = [] {
+    auto* t = new IoCounters;
+    t->reads = obs::registry().counter("pario.reads");
+    t->read_bytes = obs::registry().counter("pario.read_bytes");
+    t->writes = obs::registry().counter("pario.writes");
+    t->write_bytes = obs::registry().counter("pario.write_bytes");
+    t->fsyncs = obs::registry().counter("pario.fsyncs");
+    t->opens = obs::registry().counter("pario.file_opens");
+    return t;
+  }();
+  return *c;
+}
 }  // namespace
 
 File::~File() { close(); }
@@ -34,6 +60,7 @@ File File::open_read(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(hicpp-vararg)
   PT_REQUIRE(fd >= 0, "pario: cannot open " << path << " for reading: "
                                             << errno_text());
+  io_counters().opens.inc();
   return File(fd, path);
 }
 
@@ -42,6 +69,7 @@ File File::create(const std::string& path) {
       ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   PT_REQUIRE(fd >= 0,
              "pario: cannot create " << path << ": " << errno_text());
+  io_counters().opens.inc();
   return File(fd, path);
 }
 
@@ -49,6 +77,7 @@ File File::open_write(const std::string& path) {
   const int fd = ::open(path.c_str(), O_WRONLY);  // NOLINT(hicpp-vararg)
   PT_REQUIRE(fd >= 0, "pario: cannot open " << path << " for writing: "
                                             << errno_text());
+  io_counters().opens.inc();
   return File(fd, path);
 }
 
@@ -72,6 +101,8 @@ void File::read_at(std::uint64_t offset, void* buf, std::size_t n) const {
                             << " (wanted " << (n - done) << " more bytes)");
     done += static_cast<std::size_t>(got);
   }
+  io_counters().reads.inc();
+  io_counters().read_bytes.add(n);
 }
 
 void File::write_at(std::uint64_t offset, const void* buf,
@@ -86,6 +117,8 @@ void File::write_at(std::uint64_t offset, const void* buf,
                "pario: short write to " << path_ << ": " << errno_text());
     done += static_cast<std::size_t>(put);
   }
+  io_counters().writes.inc();
+  io_counters().write_bytes.add(n);
 }
 
 void File::truncate(std::uint64_t length) const {
@@ -98,6 +131,7 @@ void File::sync() const {
   PT_CHECK(valid(), "pario: sync on closed file");
   PT_REQUIRE(::fsync(fd_) == 0,
              "pario: fsync " << path_ << ": " << errno_text());
+  io_counters().fsyncs.inc();
 }
 
 void File::close() {

@@ -3,13 +3,52 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "core/reconstruct.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ptucker::serve {
 
 namespace {
+
+/// Serve-path registry metrics ("serve.*"), resolved once. Additive to the
+/// per-instance ExecutorCounters/CacheCounters: those stay the precise
+/// per-server view, these feed the unified process snapshot.
+struct ServeMetrics {
+  obs::Counter queries;
+  obs::Counter submitted;
+  obs::Counter completed;
+  obs::Counter admission_waits;
+  obs::Gauge queue_depth;
+  obs::Gauge peak_queue;
+  obs::Histogram query_us;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* m = [] {
+    auto* t = new ServeMetrics;
+    t->queries = obs::registry().counter("serve.queries");
+    t->submitted = obs::registry().counter("serve.exec.submitted");
+    t->completed = obs::registry().counter("serve.exec.completed");
+    t->admission_waits = obs::registry().counter("serve.exec.admission_waits");
+    t->queue_depth = obs::registry().gauge("serve.exec.queue_depth");
+    t->peak_queue = obs::registry().gauge("serve.exec.peak_queue");
+    t->query_us = obs::registry().histogram("serve.query_us");
+    return t;
+  }();
+  return *m;
+}
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+          .count());
+}
 
 /// stat result condensed exactly as the TimestepReader stale-file check
 /// does (see timestep_reader.cpp): identity + size + mtime.
@@ -135,28 +174,44 @@ std::uint64_t QueryServer::generation(std::size_t a) const {
 }
 
 tensor::Tensor QueryServer::evaluate(const Request& req) const {
+  return evaluate(req, nullptr);
+}
+
+tensor::Tensor QueryServer::evaluate(const Request& req,
+                                     QueryTrace* qt) const {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t_begin = clock::now();
+  obs::Span span_query("serve.query");
+
   const Snapshot snap = snapshot(req.archive);
   const pario::ArchiveReader& ar = *snap.reader;
   const tensor::Dims& sdims = ar.step_dims();
   const std::size_t sorder = sdims.size();
 
   std::vector<util::Range> box = req.box;
-  if (box.empty()) {
-    box.resize(sorder);
-    for (std::size_t n = 0; n < sorder; ++n) box[n] = {0, sdims[n]};
+  std::vector<std::size_t> hits;
+  {
+    obs::Span span_route("serve.route");
+    if (box.empty()) {
+      box.resize(sorder);
+      for (std::size_t n = 0; n < sorder; ++n) box[n] = {0, sdims[n]};
+    }
+    PT_REQUIRE(box.size() == sorder,
+               "serve: " << box.size() << " box ranges for a step order of "
+                         << sorder);
+    for (std::size_t n = 0; n < sorder; ++n) {
+      PT_REQUIRE(box[n].lo < box[n].hi && box[n].hi <= sdims[n],
+                 "serve: box range [" << box[n].lo << ", " << box[n].hi
+                                      << ") out of bounds in mode " << n
+                                      << " (extent " << sdims[n] << ")");
+    }
+    // covering validates the step range (non-empty, within the archive).
+    hits = ar.covering(req.step_lo, req.step_hi);
   }
-  PT_REQUIRE(box.size() == sorder,
-             "serve: " << box.size() << " box ranges for a step order of "
-                       << sorder);
-  for (std::size_t n = 0; n < sorder; ++n) {
-    PT_REQUIRE(box[n].lo < box[n].hi && box[n].hi <= sdims[n],
-               "serve: box range [" << box[n].lo << ", " << box[n].hi
-                                    << ") out of bounds in mode " << n
-                                    << " (extent " << sdims[n] << ")");
+  if (qt != nullptr) {
+    qt->entries_touched = hits.size();
+    qt->route_us = us_between(t_begin, clock::now());
   }
-  // covering validates the step range (non-empty, within the archive).
-  const std::vector<std::size_t> hits =
-      ar.covering(req.step_lo, req.step_hi);
 
   tensor::Dims out_dims(sorder + 1);
   for (std::size_t n = 0; n < sorder; ++n) out_dims[n] = box[n].size();
@@ -166,9 +221,14 @@ tensor::Tensor QueryServer::evaluate(const Request& req) const {
   for (std::size_t n = 0; n < sorder; ++n) slab *= box[n].size();
 
   for (std::size_t e : hits) {
+    obs::Span span_entry("serve.entry", static_cast<std::int64_t>(e));
     const PanelKey key{req.archive, snap.generation, e};
+    bool missed = false;
     const std::shared_ptr<const EntryPanels> panels =
         cache_.get_or_load(key, [&]() -> std::shared_ptr<const EntryPanels> {
+          obs::Span span_load("serve.load", static_cast<std::int64_t>(e));
+          const clock::time_point t_load = clock::now();
+          missed = true;
           pario::LocalModelData md = ar.read_entry_local(e);
           auto p = std::make_shared<EntryPanels>();
           p->step_first = ar.entry(e).step_first;
@@ -177,8 +237,21 @@ tensor::Tensor QueryServer::evaluate(const Request& req) const {
           p->factors = std::move(md.factors);
           p->has_stats = md.has_stats;
           p->stats = std::move(md.stats);
+          if (qt != nullptr) {
+            qt->bytes_loaded += ar.entry(e).byte_count;
+            qt->load_us += us_between(t_load, clock::now());
+          }
           return p;
         });
+    if (qt != nullptr) {
+      // A racing thread's insert still counts as this query's miss: the
+      // loader ran (or didn't) on this thread, which is what load_us times.
+      if (missed) {
+        ++qt->cache_misses;
+      } else {
+        ++qt->cache_hits;
+      }
+    }
     // This entry's share of the answer: the requested box, restricted in
     // time to the overlap of [step_lo, step_hi) with the entry's window.
     const std::uint64_t glo = std::max(req.step_lo, panels->step_first);
@@ -187,10 +260,20 @@ tensor::Tensor QueryServer::evaluate(const Request& req) const {
     std::vector<util::Range> ranges = box;
     ranges.push_back({static_cast<std::size_t>(glo - panels->step_first),
                       static_cast<std::size_t>(ghi - panels->step_first)});
-    tensor::Tensor part = core::reconstruct_range_local(
-        panels->core,
-        std::span<const tensor::Matrix>(panels->factors), ranges);
+    const clock::time_point t_recon = clock::now();
+    tensor::Tensor part;
+    {
+      obs::Span span_recon("serve.reconstruct",
+                           static_cast<std::int64_t>(e));
+      part = core::reconstruct_range_local(
+          panels->core,
+          std::span<const tensor::Matrix>(panels->factors), ranges);
+    }
+    const clock::time_point t_denorm = clock::now();
+    if (qt != nullptr) qt->reconstruct_us += us_between(t_recon, t_denorm);
     if (panels->has_stats && opts_.denormalize) {
+      obs::Span span_denorm("serve.denormalize",
+                            static_cast<std::int64_t>(e));
       PT_REQUIRE(panels->stats.species_mode >= 0 &&
                      panels->stats.species_mode < static_cast<int>(sorder),
                "serve: archived stats name a non-spatial species mode");
@@ -198,18 +281,35 @@ tensor::Tensor QueryServer::evaluate(const Request& req) const {
           part, panels->stats,
           box[static_cast<std::size_t>(panels->stats.species_mode)].lo);
     }
-    // Stitch along time (last, slowest mode): this entry's share is one
-    // contiguous slab of the answer — a pure memcpy, as reconstruct_steps.
-    PT_CHECK(part.size() == slab * (ghi - glo),
-             "serve: stitch slab size mismatch");
-    std::memcpy(out.data() + (glo - req.step_lo) * slab, part.data(),
-                part.size() * sizeof(double));
+    const clock::time_point t_stitch = clock::now();
+    if (qt != nullptr) qt->denormalize_us += us_between(t_denorm, t_stitch);
+    {
+      obs::Span span_stitch("serve.stitch", static_cast<std::int64_t>(e));
+      // Stitch along time (last, slowest mode): this entry's share is one
+      // contiguous slab of the answer — a pure memcpy, as
+      // reconstruct_steps.
+      PT_CHECK(part.size() == slab * (ghi - glo),
+               "serve: stitch slab size mismatch");
+      std::memcpy(out.data() + (glo - req.step_lo) * slab, part.data(),
+                  part.size() * sizeof(double));
+    }
+    if (qt != nullptr) qt->stitch_us += us_between(t_stitch, clock::now());
   }
+  const std::uint64_t total_us = us_between(t_begin, clock::now());
+  if (qt != nullptr) qt->total_us = total_us;
+  serve_metrics().queries.inc();
+  serve_metrics().query_us.record(total_us);
   return out;
 }
 
 tensor::Tensor QueryServer::subtensor(const Request& req) const {
   return evaluate(req);
+}
+
+tensor::Tensor QueryServer::subtensor_traced(const Request& req,
+                                             QueryTrace& trace) const {
+  trace = QueryTrace{};
+  return evaluate(req, &trace);
 }
 
 std::future<tensor::Tensor> QueryServer::submit(Request req) const {
@@ -222,6 +322,7 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       ++exec_counters_.submitted;
     }
+    serve_metrics().submitted.inc();
     try {
       promise.set_value(evaluate(req));
     } catch (...) {
@@ -229,6 +330,7 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
     }
     std::lock_guard<std::mutex> lock(queue_mutex_);
     ++exec_counters_.completed;
+    serve_metrics().completed.inc();
     return fut;
   }
   std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -237,6 +339,8 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
     // Admission control: a full queue blocks the client instead of
     // growing the queue — overload degrades to latency, not memory.
     ++exec_counters_.admission_waits;
+    serve_metrics().admission_waits.inc();
+    obs::Span span_wait("serve.admission_wait");
     queue_not_full_.wait(lock, [&] {
       return queue_.size() < opts_.queue_depth || stopping_;
     });
@@ -246,6 +350,11 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
   ++exec_counters_.submitted;
   exec_counters_.peak_queue =
       std::max(exec_counters_.peak_queue, queue_.size());
+  serve_metrics().submitted.inc();
+  serve_metrics().queue_depth.set(
+      static_cast<std::int64_t>(queue_.size()));
+  serve_metrics().peak_queue.record_peak(
+      static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   queue_not_empty_.notify_one();
   return fut;
@@ -261,6 +370,8 @@ void QueryServer::worker_loop() {
       if (queue_.empty()) return;  // stopping, and the queue has drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      serve_metrics().queue_depth.set(
+          static_cast<std::int64_t>(queue_.size()));
     }
     queue_not_full_.notify_one();
     // Count completion BEFORE resolving the future, so a client that has
@@ -271,6 +382,7 @@ void QueryServer::worker_loop() {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++exec_counters_.completed;
       }
+      serve_metrics().completed.inc();
       job.promise.set_value(std::move(result));
     } catch (...) {
       // A malformed request (bad box, uncovered range) surfaces on the
@@ -279,6 +391,7 @@ void QueryServer::worker_loop() {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++exec_counters_.completed;
       }
+      serve_metrics().completed.inc();
       job.promise.set_exception(std::current_exception());
     }
   }
@@ -357,6 +470,46 @@ ExecutorCounters QueryServer::executor_counters() const {
 std::size_t QueryServer::queue_size() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   return queue_.size();
+}
+
+std::string QueryServer::stats_report() const {
+  const CacheCounters cc = cache_.counters();
+  const ExecutorCounters ec = executor_counters();
+  std::ostringstream os;
+  os << "server.archives " << archives_.size() << "\n"
+     << "server.cache.resident " << cache_.size() << "\n"
+     << "server.cache.capacity " << cache_.capacity() << "\n"
+     << "server.cache.lookups " << cc.lookups << "\n"
+     << "server.cache.hits " << cc.hits << "\n"
+     << "server.cache.misses " << cc.misses << "\n"
+     << "server.cache.evictions " << cc.evictions << "\n"
+     << "server.cache.invalidations " << cc.invalidations << "\n"
+     << "server.exec.submitted " << ec.submitted << "\n"
+     << "server.exec.completed " << ec.completed << "\n"
+     << "server.exec.admission_waits " << ec.admission_waits << "\n"
+     << "server.exec.peak_queue " << ec.peak_queue << "\n"
+     << "server.exec.queue_size " << queue_size() << "\n"
+     << obs::registry().snapshot().to_text();
+  return os.str();
+}
+
+std::string QueryServer::stats_json() const {
+  const CacheCounters cc = cache_.counters();
+  const ExecutorCounters ec = executor_counters();
+  std::ostringstream os;
+  os << "{\"server\":{\"archives\":" << archives_.size()
+     << ",\"cache\":{\"resident\":" << cache_.size()
+     << ",\"capacity\":" << cache_.capacity()
+     << ",\"lookups\":" << cc.lookups << ",\"hits\":" << cc.hits
+     << ",\"misses\":" << cc.misses << ",\"evictions\":" << cc.evictions
+     << ",\"invalidations\":" << cc.invalidations
+     << "},\"executor\":{\"submitted\":" << ec.submitted
+     << ",\"completed\":" << ec.completed
+     << ",\"admission_waits\":" << ec.admission_waits
+     << ",\"peak_queue\":" << ec.peak_queue
+     << ",\"queue_size\":" << queue_size()
+     << "}},\"registry\":" << obs::registry().snapshot().to_json() << "}";
+  return os.str();
 }
 
 }  // namespace ptucker::serve

@@ -84,6 +84,22 @@ struct ExecutorCounters {
   std::size_t peak_queue = 0;
 };
 
+/// Per-query introspection: what one evaluation actually did. Filled by
+/// subtensor_traced(); stage times are microseconds of wall clock on the
+/// evaluating thread.
+struct QueryTrace {
+  std::size_t entries_touched = 0;  ///< archive entries covering the range
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::uint64_t bytes_loaded = 0;  ///< compressed blob bytes read on misses
+  std::uint64_t route_us = 0;      ///< validation + covering-entry lookup
+  std::uint64_t load_us = 0;       ///< entry read + decompress (misses only)
+  std::uint64_t reconstruct_us = 0;
+  std::uint64_t denormalize_us = 0;
+  std::uint64_t stitch_us = 0;
+  std::uint64_t total_us = 0;
+};
+
 class QueryServer {
  public:
   /// Open the given archives (each must exist and parse). Queries name an
@@ -108,6 +124,12 @@ class QueryServer {
 
   /// Synchronous evaluation on the calling thread (no queue).
   [[nodiscard]] tensor::Tensor subtensor(const Request& req) const;
+
+  /// subtensor() plus a per-query breakdown (entries touched, cache hits,
+  /// bytes loaded, per-stage micros) written to \p trace. Same answer bytes
+  /// as subtensor() — tracing never changes evaluation.
+  [[nodiscard]] tensor::Tensor subtensor_traced(const Request& req,
+                                                QueryTrace& trace) const;
 
   /// Asynchronous evaluation through the bounded executor. Blocks while
   /// the admission queue is full; a malformed request surfaces as an
@@ -134,6 +156,14 @@ class QueryServer {
   [[nodiscard]] ExecutorCounters executor_counters() const;
   [[nodiscard]] std::size_t queue_size() const;
 
+  /// Live introspection: "name value" lines for this server (cache,
+  /// executor, queue) followed by the process-wide obs registry snapshot —
+  /// one dump sees the whole stack (serve, pario, blas, mps).
+  [[nodiscard]] std::string stats_report() const;
+  /// Same content as one JSON object:
+  /// {"server":{...},"registry":{counters,gauges,histograms}}.
+  [[nodiscard]] std::string stats_json() const;
+
  private:
   struct ArchiveState {
     std::string path;
@@ -155,6 +185,8 @@ class QueryServer {
   };
   [[nodiscard]] Snapshot snapshot(std::size_t a) const;
   [[nodiscard]] tensor::Tensor evaluate(const Request& req) const;
+  [[nodiscard]] tensor::Tensor evaluate(const Request& req,
+                                        QueryTrace* qt) const;
   void worker_loop();
 
   ServerOptions opts_;

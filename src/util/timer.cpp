@@ -40,6 +40,15 @@ void KernelTimers::merge_max(const KernelTimers& other) {
   }
 }
 
+void KernelTimers::merge_sum(const KernelTimers& other) {
+  for (const auto& [key, sec] : other.buckets_) {
+    buckets_[key] += sec;
+    if (std::find(order_.begin(), order_.end(), key.first) == order_.end()) {
+      order_.push_back(key.first);
+    }
+  }
+}
+
 void KernelTimers::clear() {
   buckets_.clear();
   order_.clear();

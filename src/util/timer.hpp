@@ -52,8 +52,18 @@ class KernelTimers {
     return order_;
   }
 
-  /// Merge another breakdown into this one (used to combine ranks).
+  /// Merge another rank's breakdown, keeping the per-bucket MAX. This is
+  /// the Fig. 8 semantics: each stacked block shows the slowest rank's time
+  /// in that kernel/mode, the bottleneck view. Note grand_total() of a
+  /// max-merged breakdown OVERSTATES any one rank's critical path (the max
+  /// of sums is at most the sum of maxes, and each bucket's max may come
+  /// from a different rank) — use merge_sum for totals.
   void merge_max(const KernelTimers& other);
+
+  /// Merge another rank's breakdown, summing buckets — aggregate
+  /// CPU-seconds across ranks. grand_total() of a sum-merged breakdown is
+  /// the true total work; divide by ranks for the mean.
+  void merge_sum(const KernelTimers& other);
 
   void clear();
 

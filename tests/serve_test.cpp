@@ -11,6 +11,7 @@
 #include "core/streaming.hpp"
 #include "data/normalize.hpp"
 #include "dist/grid.hpp"
+#include "obs/registry.hpp"
 #include "pario/archive_io.hpp"
 #include "serve/query_server.hpp"
 #include "test_utils.hpp"
@@ -367,6 +368,77 @@ TEST(Serve, AnswersApproximateTheOriginalPhysicalField) {
         field_value(std::span<const std::size_t>(idx), t), 1e-6)
         << "step " << t;
   }
+  std::filesystem::remove(path);
+}
+
+TEST(Serve, TracedQueryReportsConsistentBreakdown) {
+  const std::string path = temp_path("ptucker_serve_traced.pta");
+  const Dims step_dims{6, 4, 3};
+  build_archive(path, step_dims, 3, 2, /*species_mode=*/2);
+  serve::ServerOptions opts;
+  opts.executor_threads = 0;
+  serve::QueryServer server({path}, opts);
+
+  const serve::Request req{0, 1, 5, {{1, 5}, {0, 4}, {1, 3}}};
+  const Tensor want = server.subtensor(req);  // loads both covering entries
+
+  serve::QueryTrace warm;
+  const Tensor got = server.subtensor_traced(req, warm);
+  ASSERT_EQ(got.dims(), want.dims());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(double)),
+            0)
+      << "tracing changed the answer";
+  EXPECT_EQ(warm.entries_touched, 2u);
+  EXPECT_EQ(warm.cache_hits + warm.cache_misses, warm.entries_touched);
+  EXPECT_EQ(warm.cache_hits, 2u);  // all panels resident after the warmup
+  EXPECT_EQ(warm.bytes_loaded, 0u);
+  EXPECT_EQ(warm.load_us, 0u);  // the loader never ran
+  // Stage timers are disjoint sub-intervals of the query, so (with floor
+  // rounding) their sum cannot exceed the total.
+  EXPECT_LE(warm.route_us + warm.load_us + warm.reconstruct_us +
+                warm.denormalize_us + warm.stitch_us,
+            warm.total_us);
+
+  // A fresh server sees the same query cold: every entry is a miss and the
+  // loaded blob bytes are accounted.
+  serve::QueryServer cold_server({path}, opts);
+  serve::QueryTrace cold;
+  const Tensor cold_got = cold_server.subtensor_traced(req, cold);
+  EXPECT_EQ(std::memcmp(cold_got.data(), want.data(),
+                        cold_got.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(cold.cache_misses, 2u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.bytes_loaded, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Serve, StatsReportExposesTheWholeStack) {
+  const std::string path = temp_path("ptucker_serve_stats.pta");
+  const Dims step_dims{5, 4, 3};
+  build_archive(path, step_dims, 2, 2, /*species_mode=*/2);
+  serve::QueryServer server({path});
+  (void)server.subtensor({0, 0, 4, {}});
+
+  const std::string report = server.stats_report();
+  // Server-local lines are always present.
+  EXPECT_NE(report.find("server.archives 1"), std::string::npos);
+  EXPECT_NE(report.find("server.cache.lookups"), std::string::npos);
+  EXPECT_NE(report.find("server.exec.submitted"), std::string::npos);
+  if constexpr (obs::kEnabled) {
+    // The embedded registry snapshot reaches across subsystem boundaries:
+    // cache metrics, the serve histogram, and the pario layer underneath.
+    EXPECT_NE(report.find("serve.cache.hits"), std::string::npos);
+    EXPECT_NE(report.find("serve.query_us"), std::string::npos);
+    EXPECT_NE(report.find("pario.read_bytes"), std::string::npos);
+  }
+
+  const std::string json = server.stats_json();
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"executor\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry\""), std::string::npos);
   std::filesystem::remove(path);
 }
 

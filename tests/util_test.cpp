@@ -152,6 +152,41 @@ TEST(KernelTimers, MergeMaxTakesElementwiseMax) {
   EXPECT_DOUBLE_EQ(a.get("Evecs", 1), 3.0);
 }
 
+TEST(KernelTimers, MergeSumAccumulatesAcrossRanks) {
+  util::KernelTimers a;
+  util::KernelTimers b;
+  a.add("TTM", 0, 1.0);
+  a.add("Gram", 0, 0.5);
+  b.add("TTM", 0, 2.0);
+  b.add("Evecs", 1, 3.0);
+  a.merge_sum(b);
+  EXPECT_DOUBLE_EQ(a.get("TTM", 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("Gram", 0), 0.5);
+  EXPECT_DOUBLE_EQ(a.get("Evecs", 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.grand_total(), 6.5);
+  // New kernels keep first-use order behind the existing ones.
+  ASSERT_EQ(a.kernels().size(), 3u);
+  EXPECT_EQ(a.kernels()[2], "Evecs");
+}
+
+TEST(KernelTimers, MaxMergeGrandTotalOverstatesCriticalPath) {
+  // Two "ranks" whose per-bucket maxima come from different ranks: the
+  // max-merged grand_total exceeds either rank's own critical path. This is
+  // the documented pitfall merge_sum exists to avoid.
+  util::KernelTimers r0;
+  util::KernelTimers r1;
+  r0.add("Gram", 0, 4.0);
+  r0.add("TTM", 0, 1.0);  // r0 path: 5.0
+  r1.add("Gram", 0, 1.0);
+  r1.add("TTM", 0, 4.0);  // r1 path: 5.0
+  util::KernelTimers bottleneck = r0;
+  bottleneck.merge_max(r1);
+  EXPECT_DOUBLE_EQ(bottleneck.grand_total(), 8.0);  // > both paths
+  util::KernelTimers total = r0;
+  total.merge_sum(r1);
+  EXPECT_DOUBLE_EQ(total.grand_total(), 10.0);  // true aggregate work
+}
+
 TEST(ErrorMacros, RequireThrowsInvalidArgument) {
   EXPECT_THROW(PT_REQUIRE(false, "bad input " << 42), InvalidArgument);
   EXPECT_NO_THROW(PT_REQUIRE(true, "fine"));
