@@ -28,6 +28,7 @@
 #include "pario/archive_io.hpp"
 #include "serve/query_server.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 using namespace ptucker;
@@ -55,7 +56,8 @@ std::uint64_t exact_percentile(const std::vector<std::uint64_t>& sorted_us,
 std::vector<serve::Request> make_queries(const tensor::Dims& step_dims,
                                          std::size_t windows,
                                          std::size_t window, std::size_t count,
-                                         std::size_t box_extent) {
+                                         std::size_t box_extent,
+                                         std::uint64_t deadline_ms) {
   std::vector<serve::Request> qs;
   qs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -66,6 +68,7 @@ std::vector<serve::Request> make_queries(const tensor::Dims& step_dims,
     req.archive = 0;
     req.step_lo = step;
     req.step_hi = step + 1;
+    req.deadline_ms = deadline_ms;
     req.box.resize(step_dims.size());
     for (std::size_t n = 0; n < step_dims.size(); ++n) {
       const std::size_t extent = std::min(box_extent, step_dims[n]);
@@ -85,6 +88,8 @@ struct ScenarioResult {
   double p99_us = 0.0;
   double qps = 0.0;
   double hit_rate = 0.0;
+  std::size_t sheds = 0;            ///< queries rejected with Overloaded
+  std::size_t deadline_misses = 0;  ///< queries lost to DeadlineExceeded
 };
 
 /// Run every query once across \p clients threads against \p server,
@@ -102,6 +107,8 @@ ScenarioResult run_clients(const serve::QueryServer& server,
   std::vector<std::vector<std::uint64_t>> lat(clients);
   if (answers_out) answers_out->assign(qs.size(), tensor::Tensor{});
   std::atomic<double> checksum{0.0};
+  std::atomic<std::size_t> sheds{0};
+  std::atomic<std::size_t> deadline_misses{0};
 
   const auto t0 = Clock::now();
   std::vector<std::thread> threads;
@@ -116,8 +123,19 @@ ScenarioResult run_clients(const serve::QueryServer& server,
       double local = 0.0;
       for (std::size_t i = lo; i < hi; ++i) {
         const auto q0 = Clock::now();
-        tensor::Tensor ans = via_executor ? server.submit(qs[i]).get()
-                                          : server.subtensor(qs[i]);
+        tensor::Tensor ans;
+        try {
+          ans = via_executor ? server.submit(qs[i]).get()
+                             : server.subtensor(qs[i]);
+        } catch (const Overloaded&) {
+          // Shed at admission (shed_on_overload): the client's cue to back
+          // off. No latency sample — the query never ran.
+          ++sheds;
+          continue;
+        } catch (const DeadlineExceeded&) {
+          ++deadline_misses;
+          continue;
+        }
         const auto q1 = Clock::now();
         const auto us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
@@ -141,17 +159,20 @@ ScenarioResult run_clients(const serve::QueryServer& server,
 
   // The histogram is exact to the bucket (~12.5% relative): the true
   // nearest-rank sample must lie inside the bucket each percentile names.
-  for (const double p : {50.0, 90.0, 99.0}) {
-    const obs::HistogramData::Bounds b = hist->percentile_bounds(p);
-    const std::uint64_t exact = exact_percentile(all, p);
-    if (exact < b.lo || exact >= b.hi) {
-      std::fprintf(stderr,
-                   "serve_qps: histogram p%.0f bucket [%llu, %llu) does not "
-                   "contain the exact percentile %llu\n",
-                   p, static_cast<unsigned long long>(b.lo),
-                   static_cast<unsigned long long>(b.hi),
-                   static_cast<unsigned long long>(exact));
-      std::exit(1);
+  // (With every query shed there is no sample to check.)
+  if (!all.empty()) {
+    for (const double p : {50.0, 90.0, 99.0}) {
+      const obs::HistogramData::Bounds b = hist->percentile_bounds(p);
+      const std::uint64_t exact = exact_percentile(all, p);
+      if (exact < b.lo || exact >= b.hi) {
+        std::fprintf(stderr,
+                     "serve_qps: histogram p%.0f bucket [%llu, %llu) does "
+                     "not contain the exact percentile %llu\n",
+                     p, static_cast<unsigned long long>(b.lo),
+                     static_cast<unsigned long long>(b.hi),
+                     static_cast<unsigned long long>(exact));
+        std::exit(1);
+      }
     }
   }
 
@@ -161,10 +182,12 @@ ScenarioResult run_clients(const serve::QueryServer& server,
   r.p50_us = static_cast<double>(hist->percentile(50));
   r.p90_us = static_cast<double>(hist->percentile(90));
   r.p99_us = static_cast<double>(hist->percentile(99));
-  r.qps = static_cast<double>(qs.size()) / wall;
+  r.qps = static_cast<double>(all.size()) / wall;  // completed queries only
   r.hit_rate = lookups == 0 ? 0.0
                             : static_cast<double>(after.hits - before.hits) /
                                   static_cast<double>(lookups);
+  r.sheds = sheds.load();
+  r.deadline_misses = deadline_misses.load();
   return r;
 }
 
@@ -185,6 +208,10 @@ int main(int argc, char** argv) {
   args.add_int("shards", 4, "warm-scenario cache shards");
   args.add_int("queue_depth", 8, "executor admission-queue depth");
   args.add_double("eps", 1e-4, "per-window compression eps");
+  args.add_int("deadline_ms", 0, "per-query deadline in ms (0 = unbounded)");
+  args.add_flag("shed",
+                "executor scenario sheds on overload (Overloaded) instead "
+                "of blocking submit()");
   args.add_flag("smoke", "assert warm answers bit-match cold, then exit");
   args.add_string("trace", "",
                   "write a chrome://tracing JSON of the run to this path");
@@ -257,7 +284,8 @@ int main(int argc, char** argv) {
 
   const std::vector<serve::Request> qs = make_queries(
       step_dims, windows, window, queries,
-      static_cast<std::size_t>(args.get_int("box")));
+      static_cast<std::size_t>(args.get_int("box")),
+      static_cast<std::uint64_t>(args.get_int("deadline_ms")));
 
   serve::ServerOptions cold_opts;
   cold_opts.cache_capacity = 1;  // entry round-robin -> every query reloads
@@ -325,8 +353,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  util::Table table(
-      {"clients", "cache", "p50(us)", "p90(us)", "p99(us)", "qps", "hit%"});
+  util::Table table({"clients", "cache", "p50(us)", "p90(us)", "p99(us)",
+                     "qps", "hit%", "ddl_miss", "shed"});
   const std::size_t max_clients =
       static_cast<std::size_t>(args.get_int("max_clients"));
   for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
@@ -337,7 +365,9 @@ int main(int argc, char** argv) {
                      util::Table::fmt(r.p50_us, 1),
                      util::Table::fmt(r.p90_us, 1),
                      util::Table::fmt(r.p99_us, 1), util::Table::fmt(r.qps, 0),
-                     util::Table::fmt(100.0 * r.hit_rate, 1)});
+                     util::Table::fmt(100.0 * r.hit_rate, 1),
+                     std::to_string(r.deadline_misses),
+                     std::to_string(r.sheds)});
     }
     {
       serve::QueryServer server({archive}, warm_opts);
@@ -349,7 +379,9 @@ int main(int argc, char** argv) {
                      util::Table::fmt(r.p50_us, 1),
                      util::Table::fmt(r.p90_us, 1),
                      util::Table::fmt(r.p99_us, 1), util::Table::fmt(r.qps, 0),
-                     util::Table::fmt(100.0 * r.hit_rate, 1)});
+                     util::Table::fmt(100.0 * r.hit_rate, 1),
+                     std::to_string(r.deadline_misses),
+                     std::to_string(r.sheds)});
     }
   }
   std::printf("%s", table.str().c_str());
@@ -361,6 +393,7 @@ int main(int argc, char** argv) {
   exec_opts.executor_threads = 4;
   exec_opts.queue_depth =
       static_cast<std::size_t>(args.get_int("queue_depth"));
+  exec_opts.shed_on_overload = args.get_flag("shed");
   serve::QueryServer server({archive}, exec_opts);
   for (std::size_t w = 0; w < windows; ++w) {
     (void)server.time_range(0, w * window, w * window + 1);
@@ -368,10 +401,13 @@ int main(int argc, char** argv) {
   const ScenarioResult r = run_clients(server, qs, max_clients, true);
   const serve::ExecutorCounters ec = server.executor_counters();
   std::printf(
-      "executor (%zu clients -> 4 workers, queue %zu): p50 %.1f us, "
-      "p99 %.1f us, %0.f qps, %zu/%zu submits blocked, peak queue %zu\n",
-      max_clients, exec_opts.queue_depth, r.p50_us, r.p99_us, r.qps,
-      ec.admission_waits, ec.submitted, ec.peak_queue);
+      "executor (%zu clients -> 4 workers, queue %zu%s): p50 %.1f us, "
+      "p99 %.1f us, %0.f qps, %zu/%zu submits blocked, peak queue %zu, "
+      "%zu shed, %zu deadline misses\n",
+      max_clients, exec_opts.queue_depth,
+      exec_opts.shed_on_overload ? ", shedding" : "", r.p50_us, r.p99_us,
+      r.qps, ec.admission_waits, ec.submitted, ec.peak_queue, r.sheds,
+      r.deadline_misses);
 
   bench::paper_note(
       "the paper's analysis workflow reconstructs only the requested "

@@ -127,7 +127,7 @@ int run_single_model(mps::Comm& comm, const util::ArgParser& args,
     const pario::File f = pario::File::open_read(model_path);
     std::uint64_t fields[2] = {0, 0};  // version, order
     f.read_at(4, fields, sizeof(fields));
-    PT_REQUIRE(fields[0] == 1,
+    PT_REQUIRE(fields[0] == 1 || fields[0] == 2,
                "unsupported PTZ1 version in " << model_path);
     order = fields[1];
   } else {

@@ -1,18 +1,25 @@
 #include "pario/archive_io.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "pario/layout.hpp"
+#include "util/crc32c.hpp"
 
 namespace ptucker::pario {
 
 namespace {
 constexpr char kMagicArchive[4] = {'P', 'T', 'A', '1'};
-constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kVersionPlain = 1;  // 5-u64 slots, no checksums
+constexpr std::uint64_t kVersionCrc = 2;    // 6-u64 slots with slot_crc
 
 /// Bytes of one entry-table slot: step_first, step_count, eps, byte_offset,
-/// byte_count (eps is an f64, same width).
-constexpr std::uint64_t kSlotBytes = 5 * sizeof(std::uint64_t);
+/// byte_count (eps is an f64, same width) — plus, in version 2, a CRC32C
+/// over those five fields in the low 32 bits of a sixth u64.
+std::uint64_t slot_bytes(bool crc) {
+  return (crc ? 6 : 5) * sizeof(std::uint64_t);
+}
+constexpr std::uint64_t kSlotPayloadBytes = 5 * sizeof(std::uint64_t);
 
 /// Ceiling on the table capacity a header may claim (a 2^20-slot table is
 /// 40 MiB — far beyond any realistic run, small enough to parse safely).
@@ -24,14 +31,15 @@ std::uint64_t count_field_offset(std::size_t step_order) {
   return 4 + sizeof(std::uint64_t) * (2 + step_order + 2);
 }
 
-std::uint64_t slot_offset(std::size_t step_order, std::size_t slot) {
+std::uint64_t slot_offset(std::size_t step_order, std::size_t slot,
+                          bool crc) {
   return count_field_offset(step_order) + sizeof(std::uint64_t) +
-         slot * kSlotBytes;
+         slot * slot_bytes(crc);
 }
 
 std::uint64_t archive_header_bytes(std::size_t step_order,
-                                   std::uint64_t capacity) {
-  return slot_offset(step_order, capacity);
+                                   std::uint64_t capacity, bool crc) {
+  return slot_offset(step_order, capacity, crc);
 }
 
 /// Minimal parsed header state shared by the reader and the appender. Both
@@ -40,14 +48,17 @@ struct ParsedArchive {
   tensor::Dims step_dims;
   std::uint64_t species_mode = kArchiveNoSpecies;
   std::uint64_t capacity = 0;
+  bool crc = false;  ///< version 2: checksummed table slots
   std::vector<ArchiveEntry> entries;
 };
 
 ParsedArchive parse_archive(const File& file) {
   detail::HeaderReader reader(file);
   reader.expect_magic(kMagicArchive);
-  PT_REQUIRE(reader.u64() == kVersion,
-             "pario: unsupported PTA1 version in " << file.path());
+  const std::uint64_t version = reader.u64();
+  PT_REQUIRE(version == kVersionPlain || version == kVersionCrc,
+             "pario: unsupported PTA1 version " << version << " in "
+                                                << file.path());
   const std::uint64_t order = reader.u64();
   PT_REQUIRE(order >= 2 && order <= detail::kMaxOrder,
              "pario: implausible model order " << order << " in "
@@ -69,6 +80,7 @@ ParsedArchive parse_archive(const File& file) {
                  a.species_mode < step_order,
              "pario: implausible species mode in " << file.path());
   a.capacity = reader.u64();
+  a.crc = version == kVersionCrc;
   PT_REQUIRE(a.capacity >= 1 && a.capacity <= kMaxCapacity,
              "pario: implausible table capacity in " << file.path());
   const std::uint64_t count = reader.u64();
@@ -76,7 +88,7 @@ ParsedArchive parse_archive(const File& file) {
              "pario: entry count " << count << " exceeds capacity "
                                    << a.capacity << " in " << file.path());
   const std::uint64_t header_end =
-      archive_header_bytes(step_order, a.capacity);
+      archive_header_bytes(step_order, a.capacity, a.crc);
   PT_REQUIRE(file.size() >= header_end,
              "pario: truncated PTA1 header in " << file.path());
 
@@ -87,14 +99,20 @@ ParsedArchive parse_archive(const File& file) {
   std::uint64_t expect_offset = header_end;
   std::uint64_t expect_step = 0;
   for (std::uint64_t e = 0; e < count; ++e) {
-    detail::HeaderReader slot(file, slot_offset(step_order, e));
+    const std::uint64_t off = slot_offset(step_order, e, a.crc);
+    std::uint64_t v[6] = {};
+    file.read_at(off, v, slot_bytes(a.crc));
+    if (a.crc) {
+      detail::verify_crc32c("pario(PTA1)", file,
+                            "table slot " + std::to_string(e), off, v[5],
+                            util::crc32c(0, v, kSlotPayloadBytes));
+    }
     ArchiveEntry& ent = a.entries[e];
-    ent.step_first = slot.u64();
-    ent.step_count = slot.u64();
-    std::uint64_t eps_bits = slot.u64();
-    std::memcpy(&ent.eps, &eps_bits, sizeof(double));
-    ent.byte_offset = slot.u64();
-    ent.byte_count = slot.u64();
+    ent.step_first = v[0];
+    ent.step_count = v[1];
+    std::memcpy(&ent.eps, &v[2], sizeof(double));
+    ent.byte_offset = v[3];
+    ent.byte_count = v[4];
     PT_REQUIRE(ent.step_first == expect_step && ent.step_count >= 1,
                "pario: entry " << e << " breaks the contiguous step order in "
                                << file.path());
@@ -139,9 +157,10 @@ void archive_create(const std::string& path, const mps::Comm& comm,
   PT_REQUIRE(entry_capacity >= 1 && entry_capacity <= kMaxCapacity,
              "archive_create: implausible capacity " << entry_capacity);
   if (comm.rank() == 0) {
+    const bool crc = write_checksums();
     detail::HeaderWriter w;
     w.magic(kMagicArchive);
-    w.u64(kVersion);
+    w.u64(crc ? kVersionCrc : kVersionPlain);
     w.u64(static_cast<std::uint64_t>(step_dims.size()) + 1);
     for (std::size_t d : step_dims) w.u64(d);
     w.u64(species_mode < 0 ? kArchiveNoSpecies
@@ -152,7 +171,7 @@ void archive_create(const std::string& path, const mps::Comm& comm,
     f.write_at(0, w.bytes().data(), w.bytes().size());
     // Size the file to the full header so every table slot exists and the
     // first blob lands at a stable offset.
-    f.truncate(archive_header_bytes(step_dims.size(), entry_capacity));
+    f.truncate(archive_header_bytes(step_dims.size(), entry_capacity, crc));
   }
   comm.barrier();
 }
@@ -186,15 +205,20 @@ void archive_append_model(const std::string& path, std::uint64_t step_first,
              "archive_append: window starts at step "
                  << step_first << " but the archive ends at step "
                  << expect_step << " (windows must be contiguous)");
-  PT_REQUIRE(a.entries.size() < a.capacity,
-             "archive_append: table full (" << a.capacity
-                                            << " entries) in " << path);
+  if (a.entries.size() >= a.capacity) {
+    std::ostringstream os;
+    os << "archive_append: " << path << " is full — all " << a.capacity
+       << " entry_capacity table slots are committed; recreate the archive "
+          "with archive_create(..., entry_capacity > "
+       << a.capacity << ") to hold more windows";
+    throw ArchiveFull(os.str());
+  }
 
   // Placement: blobs are packed, so the new entry starts where the last
   // one ends. Every rank derives this from the same committed header.
   const std::uint64_t base =
       a.entries.empty()
-          ? archive_header_bytes(step_order, a.capacity)
+          ? archive_header_bytes(step_order, a.capacity, a.crc)
           : a.entries.back().byte_offset + a.entries.back().byte_count;
 
   // Payload: block-parallel, exactly like write_model (rank 0 writes the
@@ -217,8 +241,13 @@ void archive_append_model(const std::string& path, std::uint64_t step_first,
     w.u64(eps_bits);
     w.u64(base);
     w.u64(blob_bytes);
-    f.write_at(slot_offset(step_order, a.entries.size()), w.bytes().data(),
-               w.bytes().size());
+    if (a.crc) {
+      // slot_crc covers the five fields exactly as serialized above, so a
+      // torn slot write can never masquerade as a valid entry.
+      w.u64(util::crc32c(0, w.bytes().data(), w.bytes().size()));
+    }
+    f.write_at(slot_offset(step_order, a.entries.size(), a.crc),
+               w.bytes().data(), w.bytes().size());
     f.sync();
     const std::uint64_t new_count = a.entries.size() + 1;
     f.write_at(count_field_offset(step_order), &new_count,

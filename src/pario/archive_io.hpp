@@ -13,9 +13,15 @@
 ///   | u64 entry_capacity C   table slots preallocated at create
 ///   | u64 entry_count K      committed entries — THE commit point
 ///   | C x { u64 step_first | u64 step_count | f64 eps
-///         | u64 byte_offset | u64 byte_count }        the entry table
+///         | u64 byte_offset | u64 byte_count
+///         | u64 slot_crc }                            the entry table
 ///   | entry payloads: each a complete PTZ1 blob (blob-relative offsets,
 ///     so an entry extracted byte-for-byte is a standalone PTZ1 file)
+///
+/// slot_crc (version 2, the default — see pario::set_write_checksums) is a
+/// CRC32C over the slot's first five fields, so a torn table write can
+/// never masquerade as a valid entry; version-1 archives use 5-u64 slots
+/// with no checksum and are still read.
 ///
 /// Append protocol (collective): every rank parses the header independently
 /// (deterministic, zero messages) and agrees on the placement; the payload

@@ -1,14 +1,25 @@
 #include "pario/block_file.hpp"
 
+#include "util/crc32c.hpp"
+
 namespace ptucker::pario {
 
 namespace {
 constexpr char kMagicBlock[4] = {'P', 'T', 'B', '1'};
 constexpr char kMagicTensor[4] = {'P', 'T', 'T', '1'};
-constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kVersionPlain = 1;  // no checksums
+constexpr std::uint64_t kVersionCrc = 2;    // + per-block CRC32C table
 
-/// Header bytes: magic + version + order + dims + grid + offset table.
-std::uint64_t ptb1_header_bytes(std::size_t order, std::uint64_t ranks) {
+/// Header bytes: magic + version + order + dims + grid + offset table
+/// (+ crc table in version 2).
+std::uint64_t ptb1_header_bytes(std::size_t order, std::uint64_t ranks,
+                                bool crc) {
+  return 4 +
+         sizeof(std::uint64_t) * (2 + 2 * order + ranks + (crc ? ranks : 0));
+}
+
+/// Byte offset of the crc table (version 2): right after the offset table.
+std::uint64_t ptb1_crc_table_offset(std::size_t order, std::uint64_t ranks) {
   return 4 + sizeof(std::uint64_t) * (2 + 2 * order + ranks);
 }
 }  // namespace
@@ -18,8 +29,10 @@ BlockFile BlockFile::open(const std::string& path) {
   bf.file_ = File::open_read(path);
   detail::HeaderReader reader(bf.file_);
   if (reader.try_magic(kMagicBlock)) {
-    PT_REQUIRE(reader.u64() == kVersion,
-               "pario: unsupported PTB1 version in " << path);
+    const std::uint64_t version = reader.u64();
+    PT_REQUIRE(version == kVersionPlain || version == kVersionCrc,
+               "pario: unsupported PTB1 version " << version << " in "
+                                                  << path);
     const std::uint64_t order = reader.u64();
     PT_REQUIRE(order >= 1 && order <= detail::kMaxOrder,
                "pario: implausible order " << order << " in " << path);
@@ -29,6 +42,7 @@ BlockFile BlockFile::open(const std::string& path) {
     std::uint64_t ranks = 1;
     for (int e : bf.grid_) ranks *= static_cast<std::uint64_t>(e);
     bf.offsets_ = reader.u64s(ranks);
+    if (version == kVersionCrc) bf.crcs_ = reader.u64s(ranks);
     detail::validate_blocked_header("pario(PTB1)", bf.file_, bf.dims_,
                                     bf.grid_, bf.offsets_, reader.pos(),
                                     bf.file_.size());
@@ -53,13 +67,16 @@ BlockFile BlockFile::open(const std::string& path) {
 
 tensor::Tensor BlockFile::read_ranges(
     const std::vector<util::Range>& ranges) const {
-  return detail::read_blocked_ranges(file_, dims_, grid_, offsets_, ranges);
+  return detail::read_blocked_ranges(file_, dims_, grid_, offsets_, ranges,
+                                     crcs_);
 }
 
 std::uint64_t ptb1_file_bytes(const tensor::Dims& dims,
                               const std::vector<int>& grid) {
   const auto offsets = detail::block_offsets(dims, grid, 0);
-  return ptb1_header_bytes(dims.size(), offsets.size() - 1) + offsets.back();
+  return ptb1_header_bytes(dims.size(), offsets.size() - 1,
+                           write_checksums()) +
+         offsets.back();
 }
 
 void write_dist_tensor(const std::string& path, const dist::DistTensor& x) {
@@ -67,18 +84,24 @@ void write_dist_tensor(const std::string& path, const dist::DistTensor& x) {
   const mps::CartGrid& grid = x.grid();
   const std::size_t order = x.global_dims().size();
   const std::uint64_t ranks = static_cast<std::uint64_t>(comm.size());
-  const std::uint64_t header = ptb1_header_bytes(order, ranks);
+  const bool crc = write_checksums();
+  const std::uint64_t header = ptb1_header_bytes(order, ranks, crc);
   const auto offsets =
       detail::block_offsets(x.global_dims(), grid.shape(), header);
 
   if (comm.rank() == 0) {
     detail::HeaderWriter w;
     w.magic(kMagicBlock);
-    w.u64(kVersion);
+    w.u64(crc ? kVersionCrc : kVersionPlain);
     w.u64(static_cast<std::uint64_t>(order));
     for (std::size_t d : x.global_dims()) w.u64(d);
     for (int e : grid.shape()) w.u64(static_cast<std::uint64_t>(e));
     for (std::uint64_t b = 0; b < ranks; ++b) w.u64(offsets[b]);
+    // crc slots are zero-filled here and overwritten by the owning ranks;
+    // an empty block keeps 0, which is exactly crc32c of zero bytes.
+    if (crc) {
+      for (std::uint64_t b = 0; b < ranks; ++b) w.u64(0);
+    }
     PT_CHECK(w.size() == header, "pario: PTB1 header size mismatch");
     File f = File::create(path);
     f.write_at(0, w.bytes().data(), w.bytes().size());
@@ -89,6 +112,14 @@ void write_dist_tensor(const std::string& path, const dist::DistTensor& x) {
   comm.barrier();  // header visible before any block lands
   if (x.local().size() > 0) {
     const File f = File::open_write(path);
+    if (crc) {
+      const std::uint64_t c64 = util::crc32c(
+          0, x.local().data(), x.local().size() * sizeof(double));
+      f.write_at(ptb1_crc_table_offset(order, ranks) +
+                     sizeof(std::uint64_t) *
+                         static_cast<std::uint64_t>(comm.rank()),
+                 &c64, sizeof(c64));
+    }
     f.write_at(offsets[static_cast<std::size_t>(comm.rank())],
                x.local().data(), x.local().size() * sizeof(double));
   }

@@ -5,7 +5,15 @@
 ///
 /// Layout (little-endian):
 ///   "PTB1" | u64 version | u64 order N | u64 dims[N] | u64 grid[N]
-///   | u64 block_offset[prod(grid)] | f64 block payloads ...
+///   | u64 block_offset[prod(grid)]
+///   | u64 block_crc[prod(grid)]          (version 2 only)
+///   | f64 block payloads ...
+///
+/// Version 2 (the default since the robustness PR; see
+/// pario::set_write_checksums) adds one CRC32C per block — stored in the
+/// low 32 bits of a u64 slot, written by the owning rank alongside its
+/// payload — verified on any read that fully covers a block. Version-1
+/// files are still read (no verification).
 ///
 /// Block b (grid-rank order, coordinate 0 fastest — the CartGrid
 /// linearization) holds the uniform_block sub-tensor of every mode at b's
@@ -46,12 +54,16 @@ class BlockFile {
   [[nodiscard]] tensor::Tensor read_ranges(
       const std::vector<util::Range>& ranges) const;
 
+  /// True for a version-2 (checksummed) file.
+  [[nodiscard]] bool checksummed() const { return !crcs_.empty(); }
+
  private:
   BlockFile() = default;
   File file_;
   tensor::Dims dims_;
   std::vector<int> grid_;
   std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint64_t> crcs_;  // empty for version-1 / PTT1 files
 };
 
 /// Collective: write \p x as a PTB1 container. Rank 0 writes the header and
@@ -66,7 +78,8 @@ void write_dist_tensor(const std::string& path, const dist::DistTensor& x);
 [[nodiscard]] dist::DistTensor read_dist_tensor(
     std::shared_ptr<mps::CartGrid> grid, const std::string& path);
 
-/// Total byte size of the PTB1 container for the given dims and grid.
+/// Total byte size of the PTB1 container for the given dims and grid, for
+/// the version the current pario::write_checksums() setting would emit.
 [[nodiscard]] std::uint64_t ptb1_file_bytes(const tensor::Dims& dims,
                                             const std::vector<int>& grid);
 

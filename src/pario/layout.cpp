@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/registry.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace ptucker::pario::detail {
@@ -24,7 +26,36 @@ int grid_size(const std::vector<int>& grid) {
   return p;
 }
 
+struct CrcCounters {
+  obs::Counter checked;
+  obs::Counter failures;
+};
+
+CrcCounters& crc_counters() {
+  static CrcCounters* c = [] {
+    auto* t = new CrcCounters;
+    t->checked = obs::registry().counter("pario.crc_checked");
+    t->failures = obs::registry().counter("pario.crc_failures");
+    return t;
+  }();
+  return *c;
+}
+
 }  // namespace
+
+void verify_crc32c(const char* container, const File& file,
+                   const std::string& what, std::uint64_t offset,
+                   std::uint64_t stored, std::uint32_t computed) {
+  crc_counters().checked.inc();
+  if ((stored & 0xFFFFFFFFull) == computed) return;
+  crc_counters().failures.inc();
+  std::ostringstream os;
+  os << container << ": checksum mismatch in " << what << " of " << file.path()
+     << " at offset " << offset << " (stored crc32c 0x" << std::hex
+     << (stored & 0xFFFFFFFFull) << ", computed 0x" << computed << std::dec
+     << ") — silent corruption or a torn write";
+  throw ChecksumError(os.str());
+}
 
 std::vector<util::Range> block_ranges(const tensor::Dims& dims,
                                       const std::vector<int>& grid, int b) {
@@ -65,7 +96,8 @@ std::vector<std::uint64_t> block_offsets(const tensor::Dims& dims,
 tensor::Tensor read_blocked_ranges(const File& file, const tensor::Dims& dims,
                                    const std::vector<int>& grid,
                                    const std::vector<std::uint64_t>& offsets,
-                                   const std::vector<util::Range>& ranges) {
+                                   const std::vector<util::Range>& ranges,
+                                   const std::vector<std::uint64_t>& block_crcs) {
   const std::size_t order = dims.size();
   PT_REQUIRE(ranges.size() == order, "read_blocked_ranges: one range per mode");
   tensor::Dims out_dims(order);
@@ -84,7 +116,8 @@ tensor::Tensor read_blocked_ranges(const File& file, const tensor::Dims& dims,
     // Intersection of the request with this block.
     std::vector<util::Range> is(order);
     bool empty = false;
-    bool whole = true;  // intersection == block == request
+    bool whole = true;    // intersection == block == request
+    bool covered = true;  // intersection == block (crc verifiable)
     for (std::size_t n = 0; n < order; ++n) {
       is[n] = {std::max(ranges[n].lo, block[n].lo),
                std::min(ranges[n].hi, block[n].hi)};
@@ -92,14 +125,22 @@ tensor::Tensor read_blocked_ranges(const File& file, const tensor::Dims& dims,
         empty = true;
         break;
       }
-      whole = whole && is[n].lo == ranges[n].lo && is[n].hi == ranges[n].hi &&
-              is[n].lo == block[n].lo && is[n].hi == block[n].hi;
+      covered = covered && is[n].lo == block[n].lo && is[n].hi == block[n].hi;
+      whole = whole && covered && is[n].lo == ranges[n].lo &&
+              is[n].hi == ranges[n].hi;
     }
     if (empty) continue;
 
+    const bool verify =
+        covered && static_cast<std::size_t>(b) < block_crcs.size();
     const std::uint64_t block_base = offsets[static_cast<std::size_t>(b)];
     if (whole) {  // grid-matched fast path: the block IS the request
       file.read_at(block_base, out.data(), out.size() * sizeof(double));
+      if (verify) {
+        verify_crc32c("pario", file, "block " + std::to_string(b), block_base,
+                      block_crcs[static_cast<std::size_t>(b)],
+                      util::crc32c(0, out.data(), out.size() * sizeof(double)));
+      }
       return out;
     }
 
@@ -115,12 +156,15 @@ tensor::Tensor read_blocked_ranges(const File& file, const tensor::Dims& dims,
     }
 
     // pread every mode-0 run of the intersection straight into `out`.
+    // Over a fully covered block the runs visit the block's bytes exactly
+    // in order, so the stored CRC can be accumulated run by run.
     const std::size_t run = is[0].size();
     std::uint64_t src0 = is[0].lo - block[0].lo;
     std::uint64_t dst0 = is[0].lo - ranges[0].lo;
     std::vector<std::size_t> idx(order, 0);  // tail index within is[1..]
     std::size_t runs = 1;
     for (std::size_t n = 1; n < order; ++n) runs *= is[n].size();
+    std::uint32_t crc = 0;
     for (std::size_t r = 0; r < runs; ++r) {
       std::uint64_t src = src0;
       std::uint64_t dst = dst0;
@@ -130,10 +174,17 @@ tensor::Tensor read_blocked_ranges(const File& file, const tensor::Dims& dims,
       }
       file.read_at(block_base + src * sizeof(double), out.data() + dst,
                    run * sizeof(double));
+      if (verify) {
+        crc = util::crc32c(crc, out.data() + dst, run * sizeof(double));
+      }
       for (std::size_t n = 1; n < order; ++n) {
         if (++idx[n] < is[n].size()) break;
         idx[n] = 0;
       }
+    }
+    if (verify) {
+      verify_crc32c("pario", file, "block " + std::to_string(b), block_base,
+                    block_crcs[static_cast<std::size_t>(b)], crc);
     }
   }
   return out;

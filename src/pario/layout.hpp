@@ -42,10 +42,29 @@ namespace ptucker::pario::detail {
 /// layout via positioned reads only: for every block intersecting the
 /// request, the mode-0 runs of the intersection are pread directly into the
 /// result tensor. A request matching one block exactly is a single pread.
+///
+/// \p block_crcs (one stored CRC32C per block, from a version-2 header)
+/// arms verification: any block *fully covered* by the request has its
+/// checksum accumulated across the runs as they are pread (run order over a
+/// covered block is exactly the block's byte order) and mismatches throw
+/// ChecksumError naming the file, block, and byte offset. Blocks only
+/// partially intersected by a redistribution read cannot be verified this
+/// way and are passed through unchecked — grid-matched reads (the serve
+/// path, local reconstruction) always cover whole blocks and are always
+/// verified. Empty = version-1 file, no verification.
 [[nodiscard]] tensor::Tensor read_blocked_ranges(
     const File& file, const tensor::Dims& dims, const std::vector<int>& grid,
     const std::vector<std::uint64_t>& offsets,
-    const std::vector<util::Range>& ranges);
+    const std::vector<util::Range>& ranges,
+    const std::vector<std::uint64_t>& block_crcs = {});
+
+/// Compare \p computed against the stored low-32 bits of \p stored (the
+/// header field is a u64 slot for alignment); throws ChecksumError naming
+/// the container, region, file, and payload byte offset on mismatch.
+/// Counts pario.crc_checked / pario.crc_failures.
+void verify_crc32c(const char* container, const File& file,
+                   const std::string& what, std::uint64_t offset,
+                   std::uint64_t stored, std::uint32_t computed);
 
 /// --- header (de)serialization -------------------------------------------------
 

@@ -3,12 +3,14 @@
 #include <cstring>
 
 #include "pario/layout.hpp"
+#include "util/crc32c.hpp"
 
 namespace ptucker::pario {
 
 namespace {
 constexpr char kMagicModel[4] = {'P', 'T', 'Z', '1'};
-constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kVersionPlain = 1;  // no checksums
+constexpr std::uint64_t kVersionCrc = 2;    // + core_crc[R] + factor_crc
 
 /// Ceiling on the per-species stats count a header may claim; far above any
 /// real species extent, small enough that the payload math stays exact.
@@ -21,10 +23,13 @@ std::uint64_t stats_bytes(std::size_t count) {
                                             "pario: PTZ1 stats");
 }
 
+/// Version 2 appends, after the core_offset table: one CRC32C u64 slot per
+/// core block (written by the owning rank) and one factor_crc u64 over the
+/// whole factor payload region.
 std::uint64_t header_bytes(std::size_t order, std::uint64_t ranks,
-                           std::size_t stats_count) {
+                           std::size_t stats_count, bool crc) {
   const std::uint64_t words = util::checked_add(
-      2 + 4 * order + 1, ranks, "pario: PTZ1 header");
+      2 + 4 * order + 1 + (crc ? ranks + 1 : 0), ranks, "pario: PTZ1 header");
   return util::checked_add(
       4 + util::checked_mul(sizeof(std::uint64_t), words,
                             "pario: PTZ1 header"),
@@ -50,7 +55,8 @@ std::uint64_t ptz1_file_bytes(const tensor::Dims& core_dims,
   const auto offsets = detail::block_offsets(core_dims, grid, 0);
   return util::checked_add(
       util::checked_add(
-          header_bytes(core_dims.size(), offsets.size() - 1, stats_count),
+          header_bytes(core_dims.size(), offsets.size() - 1, stats_count,
+                       write_checksums()),
           factor_bytes(factors), "pario: PTZ1 size"),
       offsets.back(), "pario: PTZ1 size");
 }
@@ -77,8 +83,9 @@ std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
   }
   const std::size_t stats_count = stats == nullptr ? 0 : stats->mean.size();
   const std::uint64_t ranks = static_cast<std::uint64_t>(comm.size());
-  const std::uint64_t data_base = header_bytes(order, ranks, stats_count) +
-                                  factor_bytes(factors);
+  const bool crc = write_checksums();
+  const std::uint64_t head = header_bytes(order, ranks, stats_count, crc);
+  const std::uint64_t data_base = head + factor_bytes(factors);
   // Offsets are blob-relative: base + offsets[b] is the absolute position.
   const auto offsets =
       detail::block_offsets(core.global_dims(), core.grid().shape(),
@@ -90,7 +97,7 @@ std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
   if (comm.rank() == 0) {
     detail::HeaderWriter w;
     w.magic(kMagicModel);
-    w.u64(kVersion);
+    w.u64(crc ? kVersionCrc : kVersionPlain);
     w.u64(static_cast<std::uint64_t>(order));
     for (std::size_t d : core.global_dims()) w.u64(d);
     for (int e : core.grid().shape()) w.u64(static_cast<std::uint64_t>(e));
@@ -104,6 +111,17 @@ std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
       w.f64s(stats->stdev.data(), stats_count);
     }
     for (std::uint64_t b = 0; b < ranks; ++b) w.u64(offsets[b]);
+    if (crc) {
+      // Core crc slots: zero-filled, overwritten by the owning ranks (an
+      // empty block keeps 0 = crc32c of zero bytes). factor_crc covers the
+      // factor payload region exactly as it is serialized below.
+      for (std::uint64_t b = 0; b < ranks; ++b) w.u64(0);
+      std::uint32_t fcrc = 0;
+      for (const tensor::Matrix& u : factors) {
+        fcrc = util::crc32c(fcrc, u.data(), u.size() * sizeof(double));
+      }
+      w.u64(fcrc);
+    }
     for (const tensor::Matrix& u : factors) w.f64s(u.data(), u.size());
     PT_CHECK(w.size() == data_base, "pario: PTZ1 header size mismatch");
     File f = create ? File::create(path) : File::open_write(path);
@@ -113,6 +131,16 @@ std::uint64_t write_model_at(const std::string& path, std::uint64_t base,
   comm.barrier();
   if (core.local().size() > 0) {
     const File f = File::open_write(path);
+    if (crc) {
+      const std::uint64_t c64 = util::crc32c(
+          0, core.local().data(), core.local().size() * sizeof(double));
+      // The crc table sits ranks+1 u64s before the factor payloads.
+      const std::uint64_t crc_table = head - sizeof(std::uint64_t) * (ranks + 1);
+      f.write_at(base + crc_table +
+                     sizeof(std::uint64_t) *
+                         static_cast<std::uint64_t>(comm.rank()),
+                 &c64, sizeof(c64));
+    }
     f.write_at(base + offsets[static_cast<std::size_t>(comm.rank())],
                core.local().data(), core.local().size() * sizeof(double));
   }
@@ -136,6 +164,7 @@ struct ParsedModel {
   tensor::Dims core_dims;
   std::vector<int> file_grid;
   std::vector<std::uint64_t> core_offsets;  ///< absolute file positions
+  std::vector<std::uint64_t> core_crcs;     ///< empty for version-1 blobs
   std::vector<tensor::Matrix> factors;
   bool has_stats = false;
   data::NormalizationStats stats;
@@ -148,8 +177,10 @@ ParsedModel parse_model_blob(const File& file, std::uint64_t base,
                                          << ") outside " << file.path());
   detail::HeaderReader reader(file, base);
   reader.expect_magic(kMagicModel);
-  PT_REQUIRE(reader.u64() == kVersion,
-             "pario: unsupported PTZ1 version in " << file.path());
+  const std::uint64_t version = reader.u64();
+  PT_REQUIRE(version == kVersionPlain || version == kVersionCrc,
+             "pario: unsupported PTZ1 version " << version << " in "
+                                                << file.path());
   const std::uint64_t order = reader.u64();
   PT_REQUIRE(order >= 1 && order <= detail::kMaxOrder,
              "pario: implausible order " << order << " in " << file.path());
@@ -184,15 +215,23 @@ ParsedModel parse_model_blob(const File& file, std::uint64_t base,
     reader.f64s(model.stats.stdev.data(), count);
   }
   const auto core_offsets64 = reader.u64s(ranks);
+  std::uint64_t factor_crc = 0;
+  if (version == kVersionCrc) {
+    model.core_crcs = reader.u64s(ranks);
+    factor_crc = reader.u64();
+  }
   PT_REQUIRE(reader.pos() <= limit,
              "pario: PTZ1 header extends past the end of "
                  << file.path() << " (truncated or hostile header)");
 
   // Factors: replicated, so every rank reads them straight from the file.
   // Claimed shapes are cross-checked against the blob size before any
-  // Matrix is allocated.
+  // Matrix is allocated. In version 2 the stored factor_crc is accumulated
+  // across the payloads as they stream in and verified at the end.
   model.factors.reserve(order);
-  std::uint64_t factor_pos = reader.pos();
+  const std::uint64_t factor_base = reader.pos();
+  std::uint64_t factor_pos = factor_base;
+  std::uint32_t fcrc = 0;
   for (std::uint64_t n = 0; n < order; ++n) {
     PT_REQUIRE(rows[n] <= (1ull << 30) && cols[n] <= (1ull << 30) &&
                    rows[n] * cols[n] <= detail::kMaxElements,
@@ -205,9 +244,16 @@ ParsedModel parse_model_blob(const File& file, std::uint64_t base,
     tensor::Matrix u(rows[n], cols[n]);
     if (u.size() > 0) {
       file.read_at(factor_pos, u.data(), fbytes);
+      if (version == kVersionCrc) {
+        fcrc = util::crc32c(fcrc, u.data(), fbytes);
+      }
     }
     factor_pos += fbytes;
     model.factors.push_back(std::move(u));
+  }
+  if (version == kVersionCrc) {
+    detail::verify_crc32c("pario(PTZ1)", file, "factor region", factor_base,
+                          factor_crc, fcrc);
   }
   // Shift the blob-relative core offsets to absolute file positions.
   model.core_offsets.resize(core_offsets64.size());
@@ -244,7 +290,8 @@ ModelData read_model_at(const File& file, std::uint64_t base,
       mine[static_cast<std::size_t>(n)] = model.core.mode_range(n);
     }
     model.core.local() = detail::read_blocked_ranges(
-        file, parsed.core_dims, parsed.file_grid, parsed.core_offsets, mine);
+        file, parsed.core_dims, parsed.file_grid, parsed.core_offsets, mine,
+        parsed.core_crcs);
   }
   return model;
 }
@@ -265,7 +312,8 @@ LocalModelData read_model_local_at(const File& file, std::uint64_t base,
   }
   model.core = detail::read_blocked_ranges(file, parsed.core_dims,
                                            parsed.file_grid,
-                                           parsed.core_offsets, all);
+                                           parsed.core_offsets, all,
+                                           parsed.core_crcs);
   return model;
 }
 

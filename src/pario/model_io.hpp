@@ -10,8 +10,14 @@
 ///   | u64 has_stats
 ///   | [ u64 species_mode | u64 count | f64 mean[count] | f64 stdev[count] ]
 ///   | u64 core_offset[prod(grid)]
+///   | u64 core_crc[prod(grid)] | u64 factor_crc   (version 2 only)
 ///   | f64 factor payloads (column-major, mode order)
 ///   | core blocks (grid-rank order, as in PTB1)
+///
+/// Version 2 (the default; see pario::set_write_checksums) carries one
+/// CRC32C per core block plus one over the whole factor payload region,
+/// each in the low 32 bits of a u64 slot, verified on read. Version-1
+/// blobs are still read (no verification).
 ///
 /// Everything up to the core blocks is written by rank 0 (factors are
 /// replicated, so no gather is needed); every rank then pwrites its own

@@ -13,6 +13,32 @@
 
 namespace ptucker::pario {
 
+/// Bounded exponential backoff for *transient* syscall errors (EIO, EAGAIN)
+/// — the hiccups a shared cluster filesystem produces under load. EINTR is
+/// not budgeted here: an interrupted syscall moved no data and is always
+/// retried immediately. Non-transient errnos (ENOSPC, EBADF, ...) fail
+/// immediately with IoError.
+///
+/// Each syscall site gets max_attempts total tries; attempt k sleeps
+/// base_backoff_us * 2^(k-1), capped at max_backoff_us, before retrying.
+/// Retries increment the `pario.retries` counter; an exhausted budget
+/// increments `pario.giveups` and throws IoError with errno_text().
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::uint64_t base_backoff_us = 200;
+  std::uint64_t max_backoff_us = 10000;
+};
+
+/// Install the process-wide retry policy (thread-safe).
+void set_retry_policy(const RetryPolicy& policy);
+[[nodiscard]] RetryPolicy retry_policy();
+
+/// Whether pario writers emit version-2 (CRC32C-checksummed) containers.
+/// Defaults to true. Version-1 files remain readable either way; flip off
+/// to produce byte-identical pre-checksum output for compatibility.
+void set_write_checksums(bool on);
+[[nodiscard]] bool write_checksums();
+
 class File {
  public:
   File() = default;
@@ -33,7 +59,10 @@ class File {
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t size() const;
 
-  /// Read exactly \p n bytes at \p offset; throws on a short read.
+  /// Read exactly \p n bytes at \p offset. EINTR is retried immediately;
+  /// transient errnos are retried per the RetryPolicy; other syscall
+  /// failures throw IoError with errno_text(). A file that simply ends
+  /// early (pread returns 0) throws InvalidArgument ("truncated read").
   void read_at(std::uint64_t offset, void* buf, std::size_t n) const;
   /// Write exactly \p n bytes at \p offset (extends the file as needed).
   void write_at(std::uint64_t offset, const void* buf, std::size_t n) const;

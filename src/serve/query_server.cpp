@@ -10,6 +10,7 @@
 #include "core/reconstruct.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 
 namespace ptucker::serve {
 
@@ -23,6 +24,9 @@ struct ServeMetrics {
   obs::Counter submitted;
   obs::Counter completed;
   obs::Counter admission_waits;
+  obs::Counter deadline_misses;
+  obs::Counter sheds;
+  obs::Counter quarantines;
   obs::Gauge queue_depth;
   obs::Gauge peak_queue;
   obs::Histogram query_us;
@@ -35,6 +39,9 @@ ServeMetrics& serve_metrics() {
     t->submitted = obs::registry().counter("serve.exec.submitted");
     t->completed = obs::registry().counter("serve.exec.completed");
     t->admission_waits = obs::registry().counter("serve.exec.admission_waits");
+    t->deadline_misses = obs::registry().counter("serve.deadline_misses");
+    t->sheds = obs::registry().counter("serve.exec.sheds");
+    t->quarantines = obs::registry().counter("serve.quarantines");
     t->queue_depth = obs::registry().gauge("serve.exec.queue_depth");
     t->peak_queue = obs::registry().gauge("serve.exec.peak_queue");
     t->query_us = obs::registry().histogram("serve.query_us");
@@ -150,6 +157,9 @@ QueryServer::Snapshot QueryServer::snapshot(std::size_t a) const {
   if (!append) {
     ++st.generation;
     cache_.erase_archive(a);
+    // A rewrite may have replaced the bytes an entry was quarantined for;
+    // lift the quarantines and let the next touch re-judge each entry.
+    st.poisoned.clear();
   }
   st.reader = std::move(fresh);
   st.sig = sig;
@@ -179,9 +189,39 @@ tensor::Tensor QueryServer::evaluate(const Request& req) const {
 
 tensor::Tensor QueryServer::evaluate(const Request& req,
                                      QueryTrace* qt) const {
+  return evaluate(req, qt, std::chrono::steady_clock::now());
+}
+
+tensor::Tensor QueryServer::evaluate(
+    const Request& req, QueryTrace* qt,
+    std::chrono::steady_clock::time_point anchor) const {
   using clock = std::chrono::steady_clock;
   const clock::time_point t_begin = clock::now();
   obs::Span span_query("serve.query");
+
+  // Deadline checkpoints sit between stages (never mid-read), so an answer
+  // is either complete or DeadlineExceeded — no partial results. The anchor
+  // is submit() time for executor queries: a query that starved in the
+  // queue fails fast instead of occupying a worker past its deadline.
+  const std::uint64_t ddl_ms =
+      req.deadline_ms != 0 ? req.deadline_ms : opts_.default_deadline_ms;
+  const clock::time_point ddl = anchor + std::chrono::milliseconds(ddl_ms);
+  const auto check_deadline = [&](const char* stage) {
+    if (ddl_ms == 0) return;
+    const clock::time_point now = clock::now();
+    if (now < ddl) return;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      ++exec_counters_.deadline_misses;
+    }
+    serve_metrics().deadline_misses.inc();
+    std::ostringstream os;
+    os << "serve: deadline of " << ddl_ms << " ms exceeded at stage '"
+       << stage << "' (" << us_between(anchor, now)
+       << " us since submission)";
+    throw DeadlineExceeded(os.str());
+  };
+  check_deadline("admit");
 
   const Snapshot snap = snapshot(req.archive);
   const pario::ArchiveReader& ar = *snap.reader;
@@ -222,27 +262,59 @@ tensor::Tensor QueryServer::evaluate(const Request& req,
 
   for (std::size_t e : hits) {
     obs::Span span_entry("serve.entry", static_cast<std::int64_t>(e));
+    check_deadline("entry");
+    {
+      // Quarantine gate: an entry whose load already failed poisons only
+      // itself — queries touching it fail fast with the original failure
+      // named, and every other entry keeps serving.
+      ArchiveState& ast = *archives_[req.archive];
+      std::lock_guard<std::mutex> lock(ast.mutex);
+      const auto poison = ast.poisoned.find(e);
+      if (poison != ast.poisoned.end()) {
+        throw QuarantinedError("serve: entry " + std::to_string(e) + " of " +
+                               ast.path +
+                               " is quarantined after a failed load: " +
+                               poison->second);
+      }
+    }
     const PanelKey key{req.archive, snap.generation, e};
     bool missed = false;
-    const std::shared_ptr<const EntryPanels> panels =
-        cache_.get_or_load(key, [&]() -> std::shared_ptr<const EntryPanels> {
-          obs::Span span_load("serve.load", static_cast<std::int64_t>(e));
-          const clock::time_point t_load = clock::now();
-          missed = true;
-          pario::LocalModelData md = ar.read_entry_local(e);
-          auto p = std::make_shared<EntryPanels>();
-          p->step_first = ar.entry(e).step_first;
-          p->step_count = ar.entry(e).step_count;
-          p->core = std::move(md.core);
-          p->factors = std::move(md.factors);
-          p->has_stats = md.has_stats;
-          p->stats = std::move(md.stats);
-          if (qt != nullptr) {
-            qt->bytes_loaded += ar.entry(e).byte_count;
-            qt->load_us += us_between(t_load, clock::now());
-          }
-          return p;
-        });
+    std::shared_ptr<const EntryPanels> panels;
+    try {
+      panels = cache_.get_or_load(
+          key, [&]() -> std::shared_ptr<const EntryPanels> {
+            obs::Span span_load("serve.load", static_cast<std::int64_t>(e));
+            const clock::time_point t_load = clock::now();
+            missed = true;
+            pario::LocalModelData md = ar.read_entry_local(e);
+            auto p = std::make_shared<EntryPanels>();
+            p->step_first = ar.entry(e).step_first;
+            p->step_count = ar.entry(e).step_count;
+            p->core = std::move(md.core);
+            p->factors = std::move(md.factors);
+            p->has_stats = md.has_stats;
+            p->stats = std::move(md.stats);
+            if (qt != nullptr) {
+              qt->bytes_loaded += ar.entry(e).byte_count;
+              qt->load_us += us_between(t_load, clock::now());
+            }
+            return p;
+          });
+    } catch (const Error& err) {
+      // The entry's bytes are bad (checksum mismatch, I/O giveup,
+      // malformed blob): quarantine it so later queries fail fast instead
+      // of re-reading known-bad data. Deadline misses never land here —
+      // check_deadline only fires outside the loader.
+      ArchiveState& ast = *archives_[req.archive];
+      bool fresh = false;
+      {
+        std::lock_guard<std::mutex> lock(ast.mutex);
+        fresh = ast.poisoned.emplace(e, err.what()).second;
+      }
+      if (fresh) serve_metrics().quarantines.inc();
+      throw;
+    }
+    check_deadline("load");
     if (qt != nullptr) {
       // A racing thread's insert still counts as this query's miss: the
       // loader ran (or didn't) on this thread, which is what load_us times.
@@ -336,6 +408,17 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   PT_REQUIRE(!stopping_, "serve: submit on a stopped server");
   if (queue_.size() >= opts_.queue_depth) {
+    if (opts_.shed_on_overload) {
+      // Load shedding: reject now so the client can back off or retry
+      // elsewhere — overload degrades to an explicit error, not latency.
+      ++exec_counters_.sheds;
+      serve_metrics().sheds.inc();
+      throw Overloaded(
+          "serve: admission queue full (" +
+          std::to_string(opts_.queue_depth) +
+          " queued), query shed — back off and retry, raise queue_depth, "
+          "or disable shed_on_overload");
+    }
     // Admission control: a full queue blocks the client instead of
     // growing the queue — overload degrades to latency, not memory.
     ++exec_counters_.admission_waits;
@@ -346,7 +429,8 @@ std::future<tensor::Tensor> QueryServer::submit(Request req) const {
     });
     PT_REQUIRE(!stopping_, "serve: submit on a stopped server");
   }
-  queue_.push_back(Job{std::move(req), std::move(promise)});
+  queue_.push_back(Job{std::move(req), std::move(promise),
+                       std::chrono::steady_clock::now()});
   ++exec_counters_.submitted;
   exec_counters_.peak_queue =
       std::max(exec_counters_.peak_queue, queue_.size());
@@ -377,7 +461,7 @@ void QueryServer::worker_loop() {
     // Count completion BEFORE resolving the future, so a client that has
     // seen every future resolve also sees completed == submitted.
     try {
-      tensor::Tensor result = evaluate(job.req);
+      tensor::Tensor result = evaluate(job.req, nullptr, job.enqueued);
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         ++exec_counters_.completed;
@@ -472,6 +556,15 @@ std::size_t QueryServer::queue_size() const {
   return queue_.size();
 }
 
+std::size_t QueryServer::quarantined_entries() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<ArchiveState>& st : archives_) {
+    std::lock_guard<std::mutex> lock(st->mutex);
+    n += st->poisoned.size();
+  }
+  return n;
+}
+
 std::string QueryServer::stats_report() const {
   const CacheCounters cc = cache_.counters();
   const ExecutorCounters ec = executor_counters();
@@ -489,6 +582,9 @@ std::string QueryServer::stats_report() const {
      << "server.exec.admission_waits " << ec.admission_waits << "\n"
      << "server.exec.peak_queue " << ec.peak_queue << "\n"
      << "server.exec.queue_size " << queue_size() << "\n"
+     << "server.exec.sheds " << ec.sheds << "\n"
+     << "server.deadline_misses " << ec.deadline_misses << "\n"
+     << "server.quarantined " << quarantined_entries() << "\n"
      << obs::registry().snapshot().to_text();
   return os.str();
 }
@@ -508,7 +604,10 @@ std::string QueryServer::stats_json() const {
      << ",\"admission_waits\":" << ec.admission_waits
      << ",\"peak_queue\":" << ec.peak_queue
      << ",\"queue_size\":" << queue_size()
-     << "}},\"registry\":" << obs::registry().snapshot().to_json() << "}";
+     << ",\"sheds\":" << ec.sheds
+     << "},\"deadline_misses\":" << ec.deadline_misses
+     << ",\"quarantined\":" << quarantined_entries()
+     << "},\"registry\":" << obs::registry().snapshot().to_json() << "}";
   return os.str();
 }
 

@@ -31,12 +31,14 @@
 /// archive's cache generation and drops its panels, mirroring the
 /// TimestepReader stale-file policy.
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <condition_variable>
@@ -62,6 +64,15 @@ struct ServerOptions {
   bool revalidate = true;
   /// Restore physical values with each entry's archived per-window stats.
   bool denormalize = true;
+  /// Deadline applied to every query whose Request leaves deadline_ms == 0;
+  /// 0 = unbounded. For executor queries the clock starts at submit(), so
+  /// queueing time counts against the deadline — a query that waited too
+  /// long fails fast with DeadlineExceeded instead of occupying a worker.
+  std::uint64_t default_deadline_ms = 0;
+  /// Load shedding: when the admission queue is full, submit() throws
+  /// Overloaded immediately instead of blocking the caller. Off by default
+  /// (overload degrades to queueing latency, the original behavior).
+  bool shed_on_overload = false;
 };
 
 /// One query: global steps [step_lo, step_hi) of archive \p archive,
@@ -73,6 +84,10 @@ struct Request {
   std::uint64_t step_lo = 0;
   std::uint64_t step_hi = 0;
   std::vector<util::Range> box;
+  /// Per-query deadline in milliseconds; 0 = use the server default.
+  /// Exceeding it throws DeadlineExceeded (on the future for executor
+  /// queries) — partial answers are never returned.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Executor statistics (monotonic, except peak_queue which is a
@@ -82,6 +97,8 @@ struct ExecutorCounters {
   std::size_t completed = 0;
   std::size_t admission_waits = 0;  ///< submits that blocked on a full queue
   std::size_t peak_queue = 0;
+  std::size_t sheds = 0;            ///< submits rejected with Overloaded
+  std::size_t deadline_misses = 0;  ///< queries that threw DeadlineExceeded
 };
 
 /// Per-query introspection: what one evaluation actually did. Filled by
@@ -131,9 +148,10 @@ class QueryServer {
   [[nodiscard]] tensor::Tensor subtensor_traced(const Request& req,
                                                 QueryTrace& trace) const;
 
-  /// Asynchronous evaluation through the bounded executor. Blocks while
-  /// the admission queue is full; a malformed request surfaces as an
-  /// exception on the future.
+  /// Asynchronous evaluation through the bounded executor. While the
+  /// admission queue is full, blocks — or, with shed_on_overload, throws
+  /// Overloaded immediately (synchronously, not on the future). A malformed
+  /// request surfaces as an exception on the future.
   [[nodiscard]] std::future<tensor::Tensor> submit(Request req) const;
 
   /// One element: value at spatial index \p idx of global step \p step.
@@ -155,6 +173,13 @@ class QueryServer {
   [[nodiscard]] const PanelCache& cache() const { return cache_; }
   [[nodiscard]] ExecutorCounters executor_counters() const;
   [[nodiscard]] std::size_t queue_size() const;
+  /// Entries currently quarantined across all archives. An entry is
+  /// quarantined when its load failed with a ptucker Error (checksum
+  /// mismatch, I/O giveup, malformed blob): later queries touching it fail
+  /// fast with QuarantinedError naming the original failure, while every
+  /// other entry keeps serving. A rewrite of the archive (generation bump)
+  /// lifts its quarantines.
+  [[nodiscard]] std::size_t quarantined_entries() const;
 
   /// Live introspection: "name value" lines for this server (cache,
   /// executor, queue) followed by the process-wide obs registry snapshot —
@@ -167,14 +192,19 @@ class QueryServer {
  private:
   struct ArchiveState {
     std::string path;
-    mutable std::mutex mutex;  ///< guards reader/sig/generation swaps
+    mutable std::mutex mutex;  ///< guards reader/sig/generation/poisoned
     std::shared_ptr<const pario::ArchiveReader> reader;
     pario::detail::StepFileSig sig;
     std::uint64_t generation = 0;
+    /// Quarantined entries: index -> what its load failed with. Cleared on
+    /// generation bump (a rewrite may have replaced the bad bytes).
+    std::unordered_map<std::size_t, std::string> poisoned;
   };
   struct Job {
     Request req;
     std::promise<tensor::Tensor> promise;
+    /// Deadline anchor: queueing time counts against the deadline.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   /// Stable (reader, generation) snapshot of archive \p a, revalidating
@@ -187,6 +217,11 @@ class QueryServer {
   [[nodiscard]] tensor::Tensor evaluate(const Request& req) const;
   [[nodiscard]] tensor::Tensor evaluate(const Request& req,
                                         QueryTrace* qt) const;
+  /// \p anchor is when the query's deadline clock started — submit() time
+  /// for executor queries, call time for synchronous ones.
+  [[nodiscard]] tensor::Tensor evaluate(
+      const Request& req, QueryTrace* qt,
+      std::chrono::steady_clock::time_point anchor) const;
   void worker_loop();
 
   ServerOptions opts_;

@@ -1,0 +1,37 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace ptucker::util {
+
+namespace {
+
+/// Reflected Castagnoli polynomial (the iSCSI/ext4 CRC32C).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n-- != 0) {
+    crc = kTable[(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ptucker::util

@@ -1,0 +1,21 @@
+#pragma once
+/// \file crc32c.hpp
+/// \brief CRC32C (Castagnoli) checksum used by the pario containers to
+/// detect silent bit rot and torn writes in block payloads.
+///
+/// The incremental form composes: crc32c(crc32c(0, a), b) equals
+/// crc32c(0, a || b), which is what lets the blocked readers accumulate a
+/// block's checksum across the mode-0 runs they pread without ever
+/// materializing the block contiguously.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptucker::util {
+
+/// Extend \p crc over \p n bytes of \p data. Seed with 0 for a fresh
+/// checksum; feed the previous result to continue one.
+[[nodiscard]] std::uint32_t crc32c(std::uint32_t crc, const void* data,
+                                   std::size_t n);
+
+}  // namespace ptucker::util

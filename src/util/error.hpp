@@ -32,6 +32,49 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by pario::File when a syscall fails for real — a -1 return with a
+/// non-transient errno, or a transient one (EIO/EAGAIN) after the
+/// RetryPolicy budget is exhausted. Always carries errno_text().
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a stored CRC32C does not match the bytes read back — silent
+/// bit rot or a torn write. Names the file, block/region, and byte offset.
+class ChecksumError : public Error {
+ public:
+  explicit ChecksumError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by archive_append_model when the PTA1 entry table is full.
+/// Derives from InvalidArgument because the condition is caller-resolvable:
+/// recreate the archive with a larger entry_capacity.
+class ArchiveFull : public InvalidArgument {
+ public:
+  explicit ArchiveFull(const std::string& what) : InvalidArgument(what) {}
+};
+
+/// serve: the per-query deadline elapsed before the answer was complete.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// serve: the executor queue was full in shed mode; the query was rejected
+/// at submission instead of blocking the caller.
+class Overloaded : public Error {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
+
+/// serve: the requested archive entry was poisoned by an earlier read
+/// failure and is quarantined until the archive is repaired/rewritten.
+class QuarantinedError : public Error {
+ public:
+  explicit QuarantinedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
                                              const char* file, int line,

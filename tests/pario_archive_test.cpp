@@ -265,10 +265,19 @@ TEST(Archive, RejectsMisuse) {
         pario::archive_append_model(path, 5, 1e-4, model.core, factors),
         InvalidArgument);
     pario::archive_append_model(path, 0, 1e-4, model.core, factors);
-    // Table full (capacity 1).
+    // Table full (capacity 1): a distinct ArchiveFull (still an
+    // InvalidArgument) that names the knob to raise, not a silent limit.
+    try {
+      pario::archive_append_model(path, 2, 1e-4, model.core, factors);
+      FAIL() << "append past entry_capacity succeeded";
+    } catch (const ArchiveFull& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("entry_capacity"), std::string::npos) << what;
+      EXPECT_NE(what.find("archive_create"), std::string::npos) << what;
+    }
     EXPECT_THROW(
         pario::archive_append_model(path, 2, 1e-4, model.core, factors),
-        InvalidArgument);
+        InvalidArgument);  // and it still satisfies the broader contract
   });
   // Covering queries validate their range.
   const pario::ArchiveReader reader(path);
