@@ -98,7 +98,7 @@ bool StreamingCompressor::compress_next(WindowResult* out) {
     obs::Span span("stream.normalize", static_cast<std::int64_t>(next_));
     stats = data::normalize_species(x, opts_.species_mode);
   }
-  const SthosvdResult result = [&] {
+  SthosvdResult result = [&] {
     obs::Span span("stream.compress", static_cast<std::int64_t>(next_));
     return st_hosvd(x, opts_.sthosvd);
   }();
@@ -108,22 +108,54 @@ bool StreamingCompressor::compress_next(WindowResult* out) {
   const double entry_eps = opts_.sthosvd.fixed_ranks.empty()
                                ? opts_.sthosvd.epsilon
                                : result.error_bound;
-  {
-    obs::Span span("stream.append", static_cast<std::int64_t>(next_));
-    pario::archive_append_model(
-        archive_path_, next_, entry_eps, result.tucker.core,
-        std::span<const tensor::Matrix>(result.tucker.factors),
-        normalize ? &stats : nullptr);
+  const double error_bound = result.error_bound;
+  const double ratio = result.tucker.compression_ratio();
+
+  // Buffer the compressed window; the batched append commits every
+  // commit_every windows and at the end of the stream, so K windows share
+  // one bracketing fsync pair.
+  PendingWindow pend;
+  pend.step_first = next_;
+  pend.eps = entry_eps;
+  pend.model = std::move(result.tucker);
+  pend.has_stats = normalize;
+  if (normalize) pend.stats = std::move(stats);
+  pending_.push_back(std::move(pend));
+  next_ += count;
+  const std::size_t commit_every = std::max<std::size_t>(
+      1, opts_.commit_every);
+  if (pending_.size() >= commit_every || next_ >= reader_.num_steps()) {
+    flush_pending();
   }
+
   if (out != nullptr) {
-    out->step_first = next_;
+    out->step_first = next_ - count;
     out->step_count = count;
-    out->error_bound = result.error_bound;
-    out->compression_ratio = result.tucker.compression_ratio();
+    out->error_bound = error_bound;
+    out->compression_ratio = ratio;
     out->seconds = timer.seconds();
   }
-  next_ += count;
   return true;
+}
+
+void StreamingCompressor::flush_pending() {
+  if (pending_.empty()) return;
+  obs::Span span("stream.append",
+                 static_cast<std::int64_t>(pending_.front().step_first));
+  std::vector<pario::ArchiveWindow> wins;
+  wins.reserve(pending_.size());
+  for (const PendingWindow& p : pending_) {
+    pario::ArchiveWindow w;
+    w.step_first = p.step_first;
+    w.eps = p.eps;
+    w.core = &p.model.core;
+    w.factors = std::span<const tensor::Matrix>(p.model.factors);
+    w.stats = p.has_stats ? &p.stats : nullptr;
+    wins.push_back(w);
+  }
+  pario::archive_append_models(
+      archive_path_, std::span<const pario::ArchiveWindow>(wins));
+  pending_.clear();
 }
 
 std::vector<StreamingCompressor::WindowResult>

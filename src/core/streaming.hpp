@@ -46,6 +46,12 @@ struct StreamingOptions {
   int species_mode = -1;
   /// Entry-table capacity of the created archive.
   std::size_t archive_capacity = pario::kDefaultArchiveCapacity;
+  /// Windows per archive commit: compressed models are buffered and
+  /// appended in batches of this size through archive_append_models, so K
+  /// windows cost one bracketing fsync pair instead of K. A crash loses at
+  /// most the uncommitted tail of buffered windows (the archive stays
+  /// consistent — re-run from its step_end). 1 = commit every window.
+  std::size_t commit_every = 1;
 };
 
 /// Cost-model window choice (exposed for tests and tools): among the
@@ -87,15 +93,30 @@ class StreamingCompressor {
     return archive_path_;
   }
 
-  /// Collective: compress the next window and append it to the archive.
-  /// Returns false (and leaves \p out untouched) when every step has been
-  /// consumed. The last window may be short — no step is ever dropped.
+  /// Collective: compress the next window and append it to the archive
+  /// (buffered: the append is committed every commit_every windows and when
+  /// the last step is consumed, so the archive is always complete once the
+  /// stream is). Returns false (and leaves \p out untouched) when every
+  /// step has been consumed. The last window may be short — no step is
+  /// ever dropped.
   bool compress_next(WindowResult* out = nullptr);
 
   /// Collective: drive compress_next to completion.
   std::vector<WindowResult> compress_all();
 
  private:
+  /// One compressed-but-uncommitted window awaiting the batched append.
+  struct PendingWindow {
+    std::size_t step_first = 0;
+    double eps = 0.0;
+    TuckerTensor model;
+    data::NormalizationStats stats;
+    bool has_stats = false;
+  };
+
+  /// Collective: commit every buffered window in one batched append.
+  void flush_pending();
+
   mps::Comm& comm_;
   pario::TimestepReader reader_;
   std::string archive_path_;
@@ -103,6 +124,7 @@ class StreamingCompressor {
   std::shared_ptr<mps::CartGrid> grid_;
   std::size_t window_ = 1;
   std::size_t next_ = 0;
+  std::vector<PendingWindow> pending_;
 };
 
 /// Query side: maps arbitrary global time ranges onto the covering archive

@@ -63,28 +63,42 @@ GramColumns gram(const DistTensor& x, int mode, GramAlgo algo,
   if (pn > 1) {
     const mps::Comm& ring = grid.mode_comm(mode);
     if (algo == GramAlgo::OverlappedRing) {
-      // Windowed overlap: keep at most kSendWindow eager sends ahead of the
-      // receives instead of posting all Pn-1 up front, bounding the
-      // in-flight copies of the local block to O(window) per mailbox while
-      // still overlapping the cross-Gram of block k with the transfer of
-      // blocks k+1..k+window. Peer k of my schedule is (c + k) mod Pn; that
+      // Windowed overlap via handles: keep at most kSendWindow eager sends
+      // ahead of the receives (bounding the in-flight copies of the local
+      // block to O(window) per mailbox), and keep the *receive* for block
+      // k+1 posted while the cross-Gram of block k runs, double-buffering
+      // the incoming tensors. Peer k of my schedule is (c + k) mod Pn; that
       // peer receives from me at step k of its own receive schedule, so all
-      // ranks advance in lockstep and no receive can starve.
+      // ranks advance in lockstep and no receive can starve. Transfers of
+      // slab k+1 thus land during slab k's compute instead of serializing
+      // in front of it.
       constexpr int kSendWindow = 2;
       const auto send_to_peer = [&](int k) {
-        ring.send(std::span<const double>(x.local().span()), (c + k) % pn,
-                  kTagGramRing);
+        mps::isend(ring, std::span<const double>(x.local().span()),
+                   (c + k) % pn, kTagGramRing)
+            .wait();  // eager transport: already complete at initiation
       };
       for (int k = 1; k <= std::min(pn - 1, kSendWindow); ++k) {
         send_to_peer(k);
       }
-      for (int k = 1; k < pn; ++k) {
+      tensor::Tensor incoming[2];
+      mps::CollectiveHandle arrival[2];
+      const auto post_recv = [&](int k) {
         const int src = (c - k + pn) % pn;
-        tensor::Tensor incoming(block_dims_at(x, mode, src));
-        ring.recv(incoming.span(), src, kTagGramRing);
+        tensor::Tensor& buf = incoming[k & 1];
+        buf = tensor::Tensor(block_dims_at(x, mode, src));
+        arrival[k & 1] =
+            mps::irecv(ring, std::span<double>(buf.span()), src, kTagGramRing);
+      };
+      post_recv(1);
+      for (int k = 1; k < pn; ++k) {
         if (k + kSendWindow < pn) send_to_peer(k + kSendWindow);
+        // Next slab's transfer is in flight before this slab's compute.
+        if (k + 1 < pn) post_recv(k + 1);
+        arrival[k & 1].wait();
+        const int src = (c - k + pn) % pn;
         const tensor::Matrix cross =
-            tensor::local_cross_gram(incoming, x.local(), mode);
+            tensor::local_cross_gram(incoming[k & 1], x.local(), mode);
         fill_rows(cols, x.mode_range_of(mode, src).lo, cross);
       }
     } else {

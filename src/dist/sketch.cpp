@@ -6,6 +6,7 @@
 
 #include "dist/tsqr.hpp"
 #include "lapack/lapack.hpp"
+#include "mps/collectives.hpp"
 #include "tensor/local_kernels.hpp"
 #include "util/rng.hpp"
 
@@ -96,20 +97,27 @@ tensor::Matrix orthonormalize(const tensor::Matrix& s) {
   return q;
 }
 
-/// Assemble the full-width local block of Z = Y x_n Q^T: the TTM re-blocks
-/// mode n (extent w) over the Pn ranks of the processor column, but the
-/// cross-Gram of the power iteration needs all w mode-n slices against this
-/// rank's non-n block — an allgatherv within the mode's processor column.
-tensor::Tensor allgather_mode_blocks(const DistTensor& z, int mode) {
+/// Power-iteration cross-Gram S = Y(n) Z(n)^T with the processor-column
+/// allgatherv of Z's mode-n blocks overlapped against compute. The TTM
+/// re-blocks mode n (extent w) over the Pn ranks of the processor column;
+/// every output column of S belongs to exactly one source block, so the
+/// columns owned by this rank's own block are computed from z.local()
+/// while the ring carries the other blocks, and the remaining columns are
+/// computed per received piece after completion. Each output element is the
+/// same independent dot product the monolithic full-width cross-Gram
+/// evaluates, so the split is bitwise identical to gathering first.
+tensor::Matrix overlapped_power_cross_gram(const DistTensor& y,
+                                           const DistTensor& z, int mode) {
   const mps::Comm& mcomm = z.grid().mode_comm(mode);
   const int pn = mcomm.size();
+  const int c = z.grid().coord(mode);
   const std::size_t width = z.global_dim(mode);
+  const std::size_t jn = y.global_dim(mode);
 
-  tensor::Dims full_dims = z.local().dims();
-  full_dims[static_cast<std::size_t>(mode)] = width;
+  tensor::Dims piece_dims = z.local().dims();
   std::size_t base = 1;
   for (int m = 0; m < z.order(); ++m) {
-    if (m != mode) base *= full_dims[static_cast<std::size_t>(m)];
+    if (m != mode) base *= piece_dims[static_cast<std::size_t>(m)];
   }
 
   std::vector<std::size_t> counts(static_cast<std::size_t>(pn));
@@ -117,29 +125,47 @@ tensor::Tensor allgather_mode_blocks(const DistTensor& z, int mode) {
     counts[static_cast<std::size_t>(q)] = base * z.mode_range_of(mode, q).size();
   }
   std::vector<double> all(base * width);
-  mps::allgatherv(mcomm, z.local().span(), std::span<double>(all),
-                  std::span<const std::size_t>(counts));
+  mps::CollectiveHandle gathered =
+      mps::iallgatherv(mcomm, std::span<const double>(z.local().span()),
+                       std::span<double>(all),
+                       std::span<const std::size_t>(counts));
 
-  tensor::Tensor full(full_dims);
-  std::vector<util::Range> ranges(static_cast<std::size_t>(z.order()));
-  for (int m = 0; m < z.order(); ++m) {
-    ranges[static_cast<std::size_t>(m)] =
-        util::Range{0, full_dims[static_cast<std::size_t>(m)]};
+  tensor::Matrix s(jn, width);
+  const util::Range rows = y.mode_range(mode);
+  const auto emit_columns = [&](const tensor::Tensor& piece,
+                                std::size_t col_lo) {
+    const tensor::Matrix part = tensor::local_cross_gram(y.local(), piece, mode);
+    for (std::size_t j = 0; j < part.cols(); ++j) {
+      std::memcpy(s.col(col_lo + j) + rows.lo, part.col(j),
+                  rows.size() * sizeof(double));
+    }
+  };
+
+  // My own block's columns need no communication: compute them while the
+  // ring is in flight.
+  if (z.mode_range(mode).size() > 0) {
+    emit_columns(z.local(), z.mode_range(mode).lo);
   }
+  gathered.wait();
+
   std::size_t off = 0;
   for (int q = 0; q < pn; ++q) {
     const util::Range block = z.mode_range_of(mode, q);
     if (block.size() == 0) continue;
-    tensor::Dims piece_dims = full_dims;
+    if (q == c) {
+      off += counts[static_cast<std::size_t>(q)];
+      continue;
+    }
     piece_dims[static_cast<std::size_t>(mode)] = block.size();
     tensor::Tensor piece(piece_dims);
     std::memcpy(piece.data(), all.data() + off,
                 piece.size() * sizeof(double));
-    ranges[static_cast<std::size_t>(mode)] = block;
-    place_subtensor(full, ranges, piece);
+    emit_columns(piece, block.lo);
     off += piece.size();
   }
-  return full;
+
+  mps::allreduce(y.comm(), s.span());
+  return s;
 }
 
 }  // namespace
@@ -176,12 +202,13 @@ SketchFactorResult factor_via_sketch(const DistTensor& y, int mode,
   }
 
   // Power iterations: S <- Y(n) Y(n)^T Q via one TTM (Z = Y x_n Q^T, so
-  // Z(n) = Q^T Y(n)) and one sketch-width cross-Gram, then re-orthonormalize.
+  // Z(n) = Q^T Y(n)) and one sketch-width cross-Gram with the
+  // processor-column allgatherv hidden under the own-block columns, then
+  // re-orthonormalize.
   for (int pass = 0; pass < options.power_iterations; ++pass) {
     const DistTensor z = ttm(y, q.transposed(), mode, TtmAlgo::Auto, timers);
     util::ScopedKernelTimer scope(timers, "Sketch", mode);
-    const tensor::Tensor zfull = allgather_mode_blocks(z, mode);
-    q = orthonormalize(replicated_cross_gram(y, zfull, mode));
+    q = orthonormalize(overlapped_power_cross_gram(y, z, mode));
   }
 
   // Project and take the small spectrum: Z = Y x_n Q^T is the projected

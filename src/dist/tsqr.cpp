@@ -59,17 +59,33 @@ tensor::Matrix assemble_slab(const DistTensor& x, int mode) {
 
   tensor::Matrix slab(std::max(rows_mine, jn), jn);
 
-  // Sends are eager, so post every outgoing chunk before receiving. A send
-  // or receive is skipped exactly when both sides can see it is empty: the
-  // chunk partition (over the column-shared `cols`) and each rank's mode-n
-  // block sizes are known grid-wide.
+  // Sends are eager, so initiate every outgoing chunk before receiving (the
+  // payload is captured at initiation, so the pack buffer can be dropped
+  // immediately). A send or receive is skipped exactly when both sides can
+  // see it is empty: the chunk partition (over the column-shared `cols`)
+  // and each rank's mode-n block sizes are known grid-wide.
   for (int q = 0; q < pn; ++q) {
     if (q == me) continue;
     const util::Range chunk = util::uniform_block(
         cols, static_cast<std::size_t>(pn), static_cast<std::size_t>(q));
     if (chunk.size() == 0 || s.mid == 0) continue;
     const std::vector<double> buf = pack_rows(y, mode, chunk);
-    mcomm.send(std::span<const double>(buf), q, kTagTsqrExchange);
+    mps::isend(mcomm, std::span<const double>(buf), q, kTagTsqrExchange)
+        .wait();
+  }
+  // Post every receive up front, then pack the local chunk while the
+  // transfers are in flight; completion and unpacking happen sender by
+  // sender afterwards.
+  std::vector<std::vector<double>> bufs(static_cast<std::size_t>(pn));
+  std::vector<mps::CollectiveHandle> arrivals(static_cast<std::size_t>(pn));
+  for (int q = 0; q < pn; ++q) {
+    if (q == me) continue;
+    const util::Range sender = x.mode_range_of(mode, q);
+    if (rows_mine == 0 || sender.size() == 0) continue;
+    std::vector<double>& buf = bufs[static_cast<std::size_t>(q)];
+    buf.resize(rows_mine * sender.size());
+    arrivals[static_cast<std::size_t>(q)] = mps::irecv(
+        mcomm, std::span<double>(buf), q, kTagTsqrExchange);
   }
   if (rows_mine > 0 && s.mid > 0) {
     const std::vector<double> own = pack_rows(y, mode, mine);
@@ -83,8 +99,8 @@ tensor::Matrix assemble_slab(const DistTensor& x, int mode) {
     if (q == me) continue;
     const util::Range sender = x.mode_range_of(mode, q);
     if (rows_mine == 0 || sender.size() == 0) continue;
-    std::vector<double> buf(rows_mine * sender.size());
-    mcomm.recv(std::span<double>(buf), q, kTagTsqrExchange);
+    arrivals[static_cast<std::size_t>(q)].wait();
+    const std::vector<double>& buf = bufs[static_cast<std::size_t>(q)];
     for (std::size_t j = 0; j < sender.size(); ++j) {
       std::memcpy(slab.col(sender.lo + j), buf.data() + j * rows_mine,
                   rows_mine * sizeof(double));
@@ -127,21 +143,27 @@ tensor::Matrix tsqr_r_factor(const DistTensor& x, int mode,
   const mps::Comm& comm = x.grid().comm();
   const int p = comm.size();
   const int rank = comm.rank();
+  // The combines themselves stay blocking — each tree level needs the
+  // child's R before re-factoring — but the transfers run through the
+  // handle API like every other collective path.
   int mask = 1;
   while (mask < p) {
     if ((rank & mask) != 0) {
-      comm.send(std::span<const double>(r.span()), rank - mask, kTagTsqrTree);
+      mps::isend(comm, std::span<const double>(r.span()), rank - mask,
+                 kTagTsqrTree)
+          .wait();
       break;
     }
     const int partner = rank | mask;
     if (partner < p) {
       tensor::Matrix other(jn, jn);
-      comm.recv(other.span(), partner, kTagTsqrTree);
+      mps::irecv(comm, std::span<double>(other.span()), partner, kTagTsqrTree)
+          .wait();
       r = combine_r(r, other);
     }
     mask <<= 1;
   }
-  mps::broadcast(comm, r.span(), 0);
+  mps::ibroadcast(comm, std::span<double>(r.span()), 0).wait();
   return r;
 }
 

@@ -8,11 +8,17 @@
 /// partials are summed within the processor column. Two communication
 /// schedules are provided:
 ///  - Blocked (Alg. 3): Pn rounds, round l reducing the K/Pn-row output
-///    block to its owner — bounded temporaries, Pn binomial reduces.
-///  - ReduceScatter: one local multiply of the full K rows followed by a
-///    single reduce-scatter — fewer messages, one K x (local cols) buffer.
-/// Auto follows the paper's K <= Jn/Pn switch; with Pn = 1 either path
-/// degenerates to one local call with no communication at all.
+///    block to its owner — bounded temporaries, Pn binomial reduces, each
+///    initiated nonblocking and drained under the next round's multiply.
+///  - ReduceScatter: the K output rows are multiplied and reduce-scattered
+///    in chunk groups, each group's collective in flight during the next
+///    group's multiply (the chunk count comes from the overlap-aware
+///    pipeline model; one chunk degenerates to the original single
+///    multiply + reduce-scatter).
+/// Auto prices both schedules with costmodel::pipeline_chunks /
+/// pipeline_makespan — the paper's K <= Jn/Pn switch is the word-term limit
+/// of that comparison; with Pn = 1 either path degenerates to one local
+/// call with no communication at all.
 
 #include "dist/dist_tensor.hpp"
 #include "tensor/local_kernels.hpp"
@@ -21,9 +27,9 @@
 namespace ptucker::dist {
 
 enum class TtmAlgo {
-  Auto,           ///< ReduceScatter when K*Pn <= Jn, else Blocked
-  Blocked,        ///< paper Alg. 3: Pn blocked rounds of binomial reduces
-  ReduceScatter,  ///< single multiply + one reduce-scatter
+  Auto,           ///< cheaper overlapped schedule under the pipeline model
+  Blocked,        ///< paper Alg. 3: Pn pipelined rounds of binomial reduces
+  ReduceScatter,  ///< chunk-pipelined multiply + reduce-scatter
 };
 
 /// Collective: Z = Y x_n M with M of size K x Jn (decomposition passes U^T,

@@ -1,6 +1,7 @@
 #pragma once
 /// \file collectives.hpp
-/// \brief Collective operations built on point-to-point messages.
+/// \brief Collective operations built on point-to-point messages, exposed
+/// as a two-phase initiate/complete API.
 ///
 /// Algorithms follow the classical implementations referenced by the paper
 /// for its Tab. I cost model (Chan et al. 2007, Thakur et al. 2005):
@@ -9,18 +10,28 @@
 ///  - all-reduce: reduce-scatter + all-gather (Rabenseifner) for large
 ///    payloads, reduce + broadcast for latency-bound payloads.
 ///
+/// Each algorithm is compiled into a per-rank action script at initiation
+/// (`ibroadcast` / `ireduce` / `iallreduce` / `iallgatherv` /
+/// `ireduce_scatter`, returning a CollectiveHandle) and driven by
+/// `wait()`/`test()` — see collective_handle.hpp. The blocking entry points
+/// are thin istart+wait wrappers over the same scripts, so there is exactly
+/// one implementation per algorithm and the nonblocking path is bitwise
+/// identical to the blocking one by construction.
+///
 /// Per-rank injected words for the ring algorithms equal the paper's
 /// (P-1)/P * W beta terms exactly; the cost-model tests assert this.
 ///
 /// All functions are collective: every rank of the communicator must call
-/// them in the same order. Reduction operators must be commutative and
-/// associative (floating-point sums are reduced in a deterministic order for
-/// a fixed communicator size, so repeated runs are bitwise reproducible).
+/// (for the i-forms: initiate) them in the same order. Reduction operators
+/// must be commutative and associative (floating-point sums are reduced in
+/// a deterministic order for a fixed communicator size, so repeated runs
+/// are bitwise reproducible).
 
 #include <cstring>
 #include <span>
 #include <vector>
 
+#include "mps/collective_handle.hpp"
 #include "mps/comm.hpp"
 #include "util/blocks.hpp"
 
@@ -44,11 +55,9 @@ struct Min {
 };
 
 namespace detail {
-// Reserved internal tag bases (user tags must be >= 0).
-constexpr int kTagBcast = -2000;
-constexpr int kTagReduce = -3000;
-constexpr int kTagAllGather = -4000;
-constexpr int kTagReduceScatter = -5000;
+// Reserved internal tag bases for the blocking rooted varied-size
+// collectives (user tags must be >= 0). The five scripted collectives use
+// the per-initiation async tag space instead (collective_handle.hpp).
 constexpr int kTagGather = -6000;
 constexpr int kTagScatter = -7000;
 
@@ -60,112 +69,340 @@ inline std::vector<std::size_t> offsets_from_counts(
   }
   return offsets;
 }
-}  // namespace detail
 
-/// --- broadcast ---------------------------------------------------------------
-
-/// Binomial-tree broadcast of buf from root to all ranks.
 template <class T>
-void broadcast(const Comm& comm, std::span<T> buf, int root) {
+[[nodiscard]] inline std::span<const std::byte> bytes_of(const T* data,
+                                                         std::size_t n) {
+  return std::as_bytes(std::span<const T>(data, n));
+}
+
+/// --- script builders -------------------------------------------------------
+/// Each builder appends the exact send/recv sequence of the corresponding
+/// blocking algorithm to \p op. Scratch buffers live in the op's RingState,
+/// which the closures reference by raw pointer (the op owns the state).
+
+/// Binomial-tree broadcast of \p buf from \p root.
+template <class T>
+void build_bcast(AsyncOp& op, const Comm& comm, std::span<T> buf, int root,
+                 int tag) {
   const int p = comm.size();
-  comm.note_collective(OpKind::Broadcast, buf.size_bytes());
   if (p == 1) return;
-  OpScope scope(OpKind::Broadcast);
   const int vr = (comm.rank() - root + p) % p;
   auto actual = [&](int vrank) { return (vrank + root) % p; };
 
   int mask = 1;
+  int recv_mask = 0;
   while (mask < p) {
     if ((vr & mask) != 0) {
-      comm.recv(buf, actual(vr - mask), detail::kTagBcast);
+      recv_mask = mask;
       break;
     }
     mask <<= 1;
   }
+  if (recv_mask != 0) {
+    AsyncAction a;
+    a.kind = AsyncAction::Kind::Recv;
+    a.peer = actual(vr - recv_mask);
+    a.tag = tag;
+    a.recv_bytes = buf.size_bytes();
+    T* dst = buf.data();
+    a.consume = [dst](std::span<const std::byte> payload) {
+      std::memcpy(dst, payload.data(), payload.size());
+    };
+    op.actions.push_back(std::move(a));
+    mask = recv_mask;
+  }
   mask >>= 1;
   while (mask > 0) {
     if ((vr & (mask - 1)) == 0 && (vr | mask) != vr && vr + mask < p) {
-      comm.send(std::span<const T>(buf.data(), buf.size()), actual(vr + mask),
-                detail::kTagBcast);
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Send;
+      a.peer = actual(vr + mask);
+      a.tag = tag;
+      const T* src = buf.data();
+      const std::size_t n = buf.size();
+      a.produce = [src, n] { return bytes_of(src, n); };
+      op.actions.push_back(std::move(a));
     }
     mask >>= 1;
   }
 }
 
-/// --- reduce ------------------------------------------------------------------
-
-/// Binomial-tree reduction to root. \p out must have in.size() elements at
-/// the root and may be empty elsewhere. in and out must not alias.
-template <class T, class Op = Sum<T>>
-void reduce(const Comm& comm, std::span<const T> in, std::span<T> out,
-            int root, Op op = {}) {
+/// Binomial-tree reduction into st->acc (pre-filled with this rank's
+/// input). Returns true iff this rank is the tree root (vr == 0), whose
+/// acc holds the full reduction once the script completes.
+template <class T, class Op>
+bool build_reduce_tree(AsyncOp& op, const Comm& comm, RingState<T>* st,
+                       int root, int tag, Op theop) {
   const int p = comm.size();
-  comm.note_collective(OpKind::Reduce, in.size_bytes());
-  if (p == 1) {
-    PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
-    std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
-    return;
-  }
-  OpScope scope(OpKind::Reduce);
   const int vr = (comm.rank() - root + p) % p;
   auto actual = [&](int vrank) { return (vrank + root) % p; };
 
-  std::vector<T> acc(in.begin(), in.end());
-  std::vector<T> tmp(in.size());
   int mask = 1;
   while (mask < p) {
     if ((vr & mask) != 0) {
-      comm.send(std::span<const T>(acc), actual(vr - mask),
-                detail::kTagReduce);
-      return;  // leaf/subtree done; nothing more to contribute
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Send;
+      a.peer = actual(vr - mask);
+      a.tag = tag;
+      RingState<T>* s = st;
+      a.produce = [s] { return bytes_of(s->acc.data(), s->acc.size()); };
+      op.actions.push_back(std::move(a));
+      return false;  // leaf/subtree done; nothing more to contribute
     }
     const int partner = vr | mask;
     if (partner < p) {
-      comm.recv(std::span<T>(tmp), actual(partner), detail::kTagReduce);
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], tmp[i]);
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Recv;
+      a.peer = actual(partner);
+      a.tag = tag;
+      a.recv_bytes = st->acc.size() * sizeof(T);
+      RingState<T>* s = st;
+      a.consume = [s, theop](std::span<const std::byte> payload) {
+        std::memcpy(s->tmp.data(), payload.data(), payload.size());
+        for (std::size_t i = 0; i < s->acc.size(); ++i) {
+          s->acc[i] = theop(s->acc[i], s->tmp[i]);
+        }
+      };
+      op.actions.push_back(std::move(a));
     }
     mask <<= 1;
   }
-  // Only the root reaches this point.
-  PT_CHECK(vr == 0, "reduce: non-root completed tree");
-  PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
-  std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
+  return true;  // only the root completes the tree
 }
 
-/// --- all-gather ----------------------------------------------------------------
-
-/// Ring all-gather with per-rank counts. \p all receives rank i's
-/// contribution at offset sum(counts[0..i)).
+/// Ring all-gather over the blocks of \p all (counts/offsets fixed at build
+/// time). The caller is responsible for placing its own contribution at
+/// all + offsets[rank] before the script's first send executes.
 template <class T>
-void allgatherv(const Comm& comm, std::span<const T> mine, std::span<T> all,
-                std::span<const std::size_t> counts) {
+void build_allgatherv_ring(AsyncOp& op, const Comm& comm, T* all,
+                           const std::vector<std::size_t>& counts,
+                           const std::vector<std::size_t>& offsets, int tag) {
   const int p = comm.size();
-  comm.note_collective(OpKind::AllGather, all.size_bytes());
-  PT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv: counts size");
-  const auto offsets = detail::offsets_from_counts(counts);
-  PT_CHECK(all.size() == offsets[static_cast<std::size_t>(p)],
-           "allgatherv: output buffer size mismatch");
-  const int r = comm.rank();
-  PT_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
-           "allgatherv: my contribution size mismatch");
-  std::memcpy(all.data() + offsets[static_cast<std::size_t>(r)], mine.data(),
-              mine.size() * sizeof(T));
   if (p == 1) return;
-  OpScope scope(OpKind::AllGather);
-
+  const int r = comm.rank();
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
   int cur = r;
   for (int step = 0; step < p - 1; ++step) {
     const std::size_t cu = static_cast<std::size_t>(cur);
-    comm.send(std::span<const T>(all.data() + offsets[cu], counts[cu]), right,
-              detail::kTagAllGather);
+    {
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Send;
+      a.peer = right;
+      a.tag = tag;
+      const T* src = all + offsets[cu];
+      const std::size_t n = counts[cu];
+      a.produce = [src, n] { return bytes_of(src, n); };
+      op.actions.push_back(std::move(a));
+    }
     const int prev = (cur - 1 + p) % p;
     const std::size_t pu = static_cast<std::size_t>(prev);
-    comm.recv(std::span<T>(all.data() + offsets[pu], counts[pu]), left,
-              detail::kTagAllGather);
+    {
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Recv;
+      a.peer = left;
+      a.tag = tag;
+      a.recv_bytes = counts[pu] * sizeof(T);
+      T* dst = all + offsets[pu];
+      a.consume = [dst](std::span<const std::byte> payload) {
+        std::memcpy(dst, payload.data(), payload.size());
+      };
+      op.actions.push_back(std::move(a));
+    }
     cur = prev;
   }
+}
+
+/// Ring reduce-scatter over st->work (pre-filled with this rank's full
+/// input; st->counts / st->offsets pre-filled). After the script, block
+/// rank of work holds this rank's reduced block.
+template <class T, class Op>
+void build_reduce_scatter_ring(AsyncOp& op, const Comm& comm,
+                               RingState<T>* st, int tag, Op theop) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int r = comm.rank();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_idx = ((r - step - 1) % p + p) % p;
+    const int recv_idx = ((r - step - 2) % p + p) % p;
+    const std::size_t su = static_cast<std::size_t>(send_idx);
+    const std::size_t ru = static_cast<std::size_t>(recv_idx);
+    {
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Send;
+      a.peer = right;
+      a.tag = tag;
+      RingState<T>* s = st;
+      a.produce = [s, su] {
+        return bytes_of(s->work.data() + s->offsets[su], s->counts[su]);
+      };
+      op.actions.push_back(std::move(a));
+    }
+    {
+      AsyncAction a;
+      a.kind = AsyncAction::Kind::Recv;
+      a.peer = left;
+      a.tag = tag;
+      a.recv_bytes = st->counts[ru] * sizeof(T);
+      RingState<T>* s = st;
+      a.consume = [s, ru, theop](std::span<const std::byte> payload) {
+        const T* incoming = reinterpret_cast<const T*>(payload.data());
+        T* chunk = s->work.data() + s->offsets[ru];
+        for (std::size_t i = 0; i < s->counts[ru]; ++i) {
+          chunk[i] = theop(chunk[i], incoming[i]);
+        }
+      };
+      op.actions.push_back(std::move(a));
+    }
+  }
+}
+
+[[nodiscard]] inline std::unique_ptr<AsyncOp> make_async_op(const Comm& comm,
+                                                            OpKind kind) {
+  auto op = std::make_unique<AsyncOp>();
+  op->comm = comm;
+  op->kind = kind;
+  return op;
+}
+
+}  // namespace detail
+
+/// --- nonblocking point-to-point ---------------------------------------------
+
+/// Initiate a send. The transport is eager (the payload is copied into the
+/// destination mailbox at initiation), so the returned handle is already
+/// complete; it exists so call sites that pipeline sends and receives can
+/// treat both uniformly.
+template <class T>
+[[nodiscard]] CollectiveHandle isend(const Comm& comm, std::span<const T> buf,
+                                     int dest, int tag) {
+  comm.send(buf, dest, tag);
+  auto op = std::make_unique<detail::AsyncOp>();
+  op->comm = comm;
+  op->kind = OpKind::P2P;
+  return detail::launch(std::move(op));
+}
+
+/// Initiate a receive into \p buf (which must outlive completion). The
+/// matched payload size must equal buf.size_bytes().
+template <class T>
+[[nodiscard]] CollectiveHandle irecv(const Comm& comm, std::span<T> buf,
+                                     int src, int tag) {
+  PT_CHECK(src >= 0 && src < comm.size(),
+           "irecv src " << src << " out of range");
+  auto op = std::make_unique<detail::AsyncOp>();
+  op->comm = comm;
+  op->kind = OpKind::P2P;
+  detail::AsyncAction a;
+  a.kind = detail::AsyncAction::Kind::Recv;
+  a.peer = src;
+  a.tag = tag;
+  a.recv_bytes = buf.size_bytes();
+  T* dst = buf.data();
+  a.consume = [dst](std::span<const std::byte> payload) {
+    std::memcpy(dst, payload.data(), payload.size());
+  };
+  op->actions.push_back(std::move(a));
+  return detail::launch(std::move(op));
+}
+
+/// --- broadcast ---------------------------------------------------------------
+
+/// Initiate a binomial-tree broadcast of buf from root. \p buf must stay
+/// valid (and at non-roots untouched) until the handle completes.
+template <class T>
+[[nodiscard]] CollectiveHandle ibroadcast(const Comm& comm, std::span<T> buf,
+                                          int root) {
+  comm.note_collective(OpKind::Broadcast, buf.size_bytes());
+  auto op = detail::make_async_op(comm, OpKind::Broadcast);
+  const int tag = detail::async_tag(comm.alloc_async_seq(), 0);
+  detail::build_bcast(*op, comm, buf, root, tag);
+  return detail::launch(std::move(op));
+}
+
+template <class T>
+void broadcast(const Comm& comm, std::span<T> buf, int root) {
+  ibroadcast(comm, buf, root).wait();
+}
+
+/// --- reduce ------------------------------------------------------------------
+
+/// Initiate a binomial-tree reduction to root. \p out must have in.size()
+/// elements at the root and may be empty elsewhere; in and out must not
+/// alias. The input is captured (copied) at initiation.
+template <class T, class Op = Sum<T>>
+[[nodiscard]] CollectiveHandle ireduce(const Comm& comm, std::span<const T> in,
+                                       std::span<T> out, int root, Op op = {}) {
+  comm.note_collective(OpKind::Reduce, in.size_bytes());
+  auto aop = detail::make_async_op(comm, OpKind::Reduce);
+  const int tag = detail::async_tag(comm.alloc_async_seq(), 0);
+
+  auto st = std::make_shared<detail::RingState<T>>();
+  st->acc.assign(in.begin(), in.end());
+  st->tmp.resize(in.size());
+  aop->state = st;
+
+  if (detail::build_reduce_tree(*aop, comm, st.get(), root, tag, op)) {
+    PT_CHECK(out.size() == in.size(), "reduce: bad out size at root");
+    detail::AsyncAction a;
+    a.kind = detail::AsyncAction::Kind::Local;
+    detail::RingState<T>* s = st.get();
+    T* dst = out.data();
+    a.run = [s, dst] {
+      std::memcpy(dst, s->acc.data(), s->acc.size() * sizeof(T));
+    };
+    aop->actions.push_back(std::move(a));
+  }
+  return detail::launch(std::move(aop));
+}
+
+template <class T, class Op = Sum<T>>
+void reduce(const Comm& comm, std::span<const T> in, std::span<T> out,
+            int root, Op op = {}) {
+  ireduce(comm, in, out, root, op).wait();
+}
+
+/// --- all-gather ----------------------------------------------------------------
+
+/// Initiate a ring all-gather with per-rank counts. \p all receives rank
+/// i's contribution at offset sum(counts[0..i)); this rank's own block is
+/// placed at initiation, the rest as the ring progresses. \p all must stay
+/// valid until completion.
+template <class T>
+[[nodiscard]] CollectiveHandle iallgatherv(const Comm& comm,
+                                           std::span<const T> mine,
+                                           std::span<T> all,
+                                           std::span<const std::size_t> counts) {
+  const int p = comm.size();
+  comm.note_collective(OpKind::AllGather, all.size_bytes());
+  PT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv: counts size");
+  auto op = detail::make_async_op(comm, OpKind::AllGather);
+  const int tag = detail::async_tag(comm.alloc_async_seq(), 0);
+
+  auto st = std::make_shared<detail::RingState<T>>();
+  st->counts.assign(counts.begin(), counts.end());
+  st->offsets = detail::offsets_from_counts(counts);
+  op->state = st;
+
+  PT_CHECK(all.size() == st->offsets[static_cast<std::size_t>(p)],
+           "allgatherv: output buffer size mismatch");
+  const int r = comm.rank();
+  PT_CHECK(mine.size() == counts[static_cast<std::size_t>(r)],
+           "allgatherv: my contribution size mismatch");
+  std::memcpy(all.data() + st->offsets[static_cast<std::size_t>(r)],
+              mine.data(), mine.size() * sizeof(T));
+  detail::build_allgatherv_ring(*op, comm, all.data(), st->counts,
+                                st->offsets, tag);
+  return detail::launch(std::move(op));
+}
+
+template <class T>
+void allgatherv(const Comm& comm, std::span<const T> mine, std::span<T> all,
+                std::span<const std::size_t> counts) {
+  iallgatherv(comm, mine, all, counts).wait();
 }
 
 /// Equal-count all-gather: every rank contributes mine.size() elements.
@@ -178,79 +415,120 @@ void allgather(const Comm& comm, std::span<const T> mine, std::span<T> all) {
 
 /// --- reduce-scatter ---------------------------------------------------------
 
-/// Ring reduce-scatter: element-wise reduction of each rank's full \p in,
-/// with block i of the result (counts[i] elements) delivered to rank i's
-/// \p out. Bandwidth-optimal: each rank injects W - counts[rank] words.
+/// Initiate a ring reduce-scatter: element-wise reduction of each rank's
+/// full \p in, with block i of the result (counts[i] elements) delivered to
+/// rank i's \p out. Bandwidth-optimal: each rank injects W - counts[rank]
+/// words. The input is captured (copied) at initiation; \p out is written
+/// at completion.
 template <class T, class Op = Sum<T>>
-void reduce_scatter(const Comm& comm, std::span<const T> in, std::span<T> out,
-                    std::span<const std::size_t> counts, Op op = {}) {
+[[nodiscard]] CollectiveHandle ireduce_scatter(
+    const Comm& comm, std::span<const T> in, std::span<T> out,
+    std::span<const std::size_t> counts, Op op = {}) {
   const int p = comm.size();
   comm.note_collective(OpKind::ReduceScatter, in.size_bytes());
   PT_CHECK(static_cast<int>(counts.size()) == p, "reduce_scatter: counts");
-  const auto offsets = detail::offsets_from_counts(counts);
-  PT_CHECK(in.size() == offsets[static_cast<std::size_t>(p)],
+  auto aop = detail::make_async_op(comm, OpKind::ReduceScatter);
+  const int tag = detail::async_tag(comm.alloc_async_seq(), 0);
+
+  auto st = std::make_shared<detail::RingState<T>>();
+  st->counts.assign(counts.begin(), counts.end());
+  st->offsets = detail::offsets_from_counts(counts);
+  aop->state = st;
+
+  PT_CHECK(in.size() == st->offsets[static_cast<std::size_t>(p)],
            "reduce_scatter: input size mismatch");
   const int r = comm.rank();
   PT_CHECK(out.size() == counts[static_cast<std::size_t>(r)],
            "reduce_scatter: output size mismatch");
-  if (p == 1) {
-    std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
-    return;
+  st->work.assign(in.begin(), in.end());
+  detail::build_reduce_scatter_ring(*aop, comm, st.get(), tag, op);
+  {
+    detail::AsyncAction a;
+    a.kind = detail::AsyncAction::Kind::Local;
+    detail::RingState<T>* s = st.get();
+    T* dst = out.data();
+    const std::size_t ru = static_cast<std::size_t>(r);
+    a.run = [s, dst, ru] {
+      std::memcpy(dst, s->work.data() + s->offsets[ru],
+                  s->counts[ru] * sizeof(T));
+    };
+    aop->actions.push_back(std::move(a));
   }
-  OpScope scope(OpKind::ReduceScatter);
+  return detail::launch(std::move(aop));
+}
 
-  std::vector<T> work(in.begin(), in.end());
-  std::vector<T> incoming;
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-  for (int step = 0; step < p - 1; ++step) {
-    const int send_idx = ((r - step - 1) % p + p) % p;
-    const int recv_idx = ((r - step - 2) % p + p) % p;
-    const std::size_t su = static_cast<std::size_t>(send_idx);
-    const std::size_t ru = static_cast<std::size_t>(recv_idx);
-    comm.send(std::span<const T>(work.data() + offsets[su], counts[su]), right,
-              detail::kTagReduceScatter);
-    incoming.resize(counts[ru]);
-    comm.recv(std::span<T>(incoming), left, detail::kTagReduceScatter);
-    T* chunk = work.data() + offsets[ru];
-    for (std::size_t i = 0; i < counts[ru]; ++i) {
-      chunk[i] = op(chunk[i], incoming[i]);
-    }
-  }
-  std::memcpy(out.data(), work.data() + offsets[static_cast<std::size_t>(r)],
-              counts[static_cast<std::size_t>(r)] * sizeof(T));
+template <class T, class Op = Sum<T>>
+void reduce_scatter(const Comm& comm, std::span<const T> in, std::span<T> out,
+                    std::span<const std::size_t> counts, Op op = {}) {
+  ireduce_scatter(comm, in, out, counts, op).wait();
 }
 
 /// --- all-reduce ---------------------------------------------------------------
 
-/// In-place all-reduce. Uses reduce-scatter + all-gather (Rabenseifner) when
-/// the payload is large enough to be bandwidth-bound, otherwise a binomial
-/// reduce + broadcast.
+/// Initiate an in-place all-reduce. Uses reduce-scatter + all-gather
+/// (Rabenseifner) when the payload is large enough to be bandwidth-bound,
+/// otherwise a binomial reduce + broadcast. The input is captured at
+/// initiation; \p inout must not be read or written until completion.
 template <class T, class Op = Sum<T>>
-void allreduce(const Comm& comm, std::span<T> inout, Op op = {}) {
+[[nodiscard]] CollectiveHandle iallreduce(const Comm& comm, std::span<T> inout,
+                                          Op op = {}) {
   const int p = comm.size();
   comm.note_collective(OpKind::AllReduce, inout.size_bytes());
-  if (p == 1 || inout.empty()) return;
-  OpScope scope(OpKind::AllReduce);
+  auto aop = detail::make_async_op(comm, OpKind::AllReduce);
+  const std::uint64_t seq = comm.alloc_async_seq();
+  if (p == 1 || inout.empty()) return detail::launch(std::move(aop));
+
   const std::size_t count = inout.size();
+  auto st = std::make_shared<detail::RingState<T>>();
+  aop->state = st;
+  detail::RingState<T>* s = st.get();
+
   if (count >= static_cast<std::size_t>(2 * p)) {
-    const auto counts = util::uniform_block_sizes(
-        count, static_cast<std::size_t>(p));
-    std::vector<T> block(counts[static_cast<std::size_t>(comm.rank())]);
-    reduce_scatter(comm, std::span<const T>(inout.data(), inout.size()),
-                   std::span<T>(block), std::span<const std::size_t>(counts),
-                   op);
-    allgatherv(comm, std::span<const T>(block), inout,
-               std::span<const std::size_t>(counts));
-  } else {
-    std::vector<T> result(comm.rank() == 0 ? count : 0);
-    reduce(comm, std::span<const T>(inout.data(), inout.size()),
-           std::span<T>(result), 0, op);
-    if (comm.rank() == 0) {
-      std::memcpy(inout.data(), result.data(), count * sizeof(T));
+    // Phase 0: ring reduce-scatter of a working copy; phase 1: ring
+    // all-gather of the reduced blocks straight out of inout.
+    st->counts =
+        util::uniform_block_sizes(count, static_cast<std::size_t>(p));
+    st->offsets = detail::offsets_from_counts(
+        std::span<const std::size_t>(st->counts));
+    st->work.assign(inout.begin(), inout.end());
+    detail::build_reduce_scatter_ring(*aop, comm, s, detail::async_tag(seq, 0),
+                                      op);
+    {
+      // Transition: my reduced block moves into my slot of inout, exactly
+      // the own-block placement the all-gather phase starts from.
+      detail::AsyncAction a;
+      a.kind = detail::AsyncAction::Kind::Local;
+      T* dst = inout.data();
+      const std::size_t ru = static_cast<std::size_t>(comm.rank());
+      a.run = [s, dst, ru] {
+        std::memcpy(dst + s->offsets[ru], s->work.data() + s->offsets[ru],
+                    s->counts[ru] * sizeof(T));
+      };
+      aop->actions.push_back(std::move(a));
     }
-    broadcast(comm, inout, 0);
+    detail::build_allgatherv_ring(*aop, comm, inout.data(), st->counts,
+                                  st->offsets, detail::async_tag(seq, 1));
+  } else {
+    st->acc.assign(inout.begin(), inout.end());
+    st->tmp.resize(count);
+    if (detail::build_reduce_tree(*aop, comm, s, 0, detail::async_tag(seq, 0),
+                                  op)) {
+      detail::AsyncAction a;
+      a.kind = detail::AsyncAction::Kind::Local;
+      T* dst = inout.data();
+      a.run = [s, dst] {
+        std::memcpy(dst, s->acc.data(), s->acc.size() * sizeof(T));
+      };
+      aop->actions.push_back(std::move(a));
+    }
+    detail::build_bcast(*aop, comm, inout, 0, detail::async_tag(seq, 1));
   }
+  return detail::launch(std::move(aop));
+}
+
+template <class T, class Op = Sum<T>>
+void allreduce(const Comm& comm, std::span<T> inout, Op op = {}) {
+  iallreduce(comm, inout, op).wait();
 }
 
 /// Scalar all-reduce convenience.

@@ -105,6 +105,16 @@ std::vector<std::byte> Comm::recv_bytes_any_size(int src, int tag) const {
   return std::move(msg.payload);
 }
 
+std::optional<std::vector<std::byte>> Comm::try_recv_bytes_any_size(
+    int src, int tag) const {
+  PT_CHECK(valid(), "recv on null communicator");
+  PT_CHECK(src >= 0 && src < size(), "recv src " << src << " out of range");
+  auto msg = state_->universe->mailbox(my_world_rank())
+                 .try_pop_matching(state_->context, world_rank(src), tag);
+  if (!msg) return std::nullopt;
+  return std::move(msg->payload);
+}
+
 Comm Comm::split(int color, int key) const {
   PT_CHECK(valid(), "split on null communicator");
   // Gather (color, key) from everyone so each rank can compute its group.

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,6 +52,12 @@ class Comm {
   [[nodiscard]] std::vector<std::byte> recv_bytes_any_size(int src,
                                                            int tag) const;
 
+  /// Non-blocking probe: pop and return the matching payload if it has
+  /// already arrived, std::nullopt otherwise. Drives CollectiveHandle
+  /// progress without stalling the caller's compute.
+  [[nodiscard]] std::optional<std::vector<std::byte>> try_recv_bytes_any_size(
+      int src, int tag) const;
+
   /// --- typed point-to-point ----------------------------------------------
   template <class T>
   void send(std::span<const T> buf, int dest, int tag) const {
@@ -80,6 +87,17 @@ class Comm {
   /// Collective: dissemination barrier (ceil(log2 P) rounds of p2p).
   void barrier() const;
 
+  /// Allocate the next nonblocking-collective sequence number for this
+  /// communicator. Every istart-style initiation takes exactly one, and all
+  /// of an op's internal tags derive from it, so concurrently in-flight ops
+  /// on one communicator never cross-match. Initiations are collective:
+  /// every member must initiate the same ops in the same order (the
+  /// schedule verifier enforces this), which keeps the per-rank counters in
+  /// lockstep without any extra traffic.
+  [[nodiscard]] std::uint64_t alloc_async_seq() const {
+    return state_->next_async_seq.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Stats for this rank (world-level counters).
   [[nodiscard]] CommStats& my_stats() const {
     return state_->universe->stats(my_world_rank());
@@ -107,6 +125,7 @@ class Comm {
     std::vector<int> group;  // world ranks, ordered; my position = my_rank
     int my_rank = -1;
     std::atomic<std::uint64_t> next_split_seq{0};
+    std::atomic<std::uint64_t> next_async_seq{0};
   };
   std::shared_ptr<State> state_;
 

@@ -38,6 +38,24 @@ Message Mailbox::pop_matching(std::uint64_t context, int src_world, int tag,
   }
 }
 
+std::optional<Message> Mailbox::try_pop_matching(std::uint64_t context,
+                                                 int src_world, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (universe_->aborted()) {
+    throw AbortError("rank aborted while receiving: " +
+                     universe_->abort_reason());
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->context == context && it->src_world == src_world &&
+        it->tag == tag) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 
 #include "mps/message.hpp"
 
@@ -32,6 +33,13 @@ class Mailbox {
   /// InternalError after \p timeout elapses (deadlock detection).
   Message pop_matching(std::uint64_t context, int src_world, int tag,
                        std::chrono::milliseconds timeout);
+
+  /// Non-blocking variant: return the matching message if one is already
+  /// queued, std::nullopt otherwise. Never waits; this is the probe that
+  /// drives CollectiveHandle::test() progress. Throws AbortError if the
+  /// universe has aborted (same contract as pop_matching).
+  std::optional<Message> try_pop_matching(std::uint64_t context, int src_world,
+                                          int tag);
 
   /// Number of queued messages (diagnostics / quiescence checks).
   [[nodiscard]] std::size_t pending() const;

@@ -19,6 +19,7 @@ int Runtime::world_size() const { return universe_->world_size(); }
 void Runtime::run(const std::function<void(Comm&)>& body) {
   universe_->clear_abort();
   universe_->reset_schedule();
+  universe_->clear_async_leaks();
   const int p = universe_->world_size();
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
@@ -57,6 +58,10 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     throw InternalError("parallel region aborted: " +
                         universe_->abort_reason());
   }
+  // A handle dropped mid-flight also leaves its messages in mailboxes, so
+  // this check precedes assert_quiescent: the leak names the op, the
+  // quiescence failure would only name the symptom.
+  universe_->assert_no_async_leaks();
   if (universe_->verify_schedule_enabled()) {
     // Before assert_quiescent: a divergent schedule usually leaks messages
     // too, and the schedule diagnosis is the actionable one.

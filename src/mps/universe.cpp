@@ -162,6 +162,30 @@ Universe::schedule_fingerprints(int world_rank) const {
   return schedules_[static_cast<std::size_t>(world_rank)].contexts;
 }
 
+void Universe::note_async_leak(const std::string& description) {
+  std::lock_guard<std::mutex> lock(async_leak_mutex_);
+  async_leaks_.push_back(description);
+}
+
+void Universe::clear_async_leaks() {
+  std::lock_guard<std::mutex> lock(async_leak_mutex_);
+  async_leaks_.clear();
+}
+
+void Universe::assert_no_async_leaks() const {
+  std::lock_guard<std::mutex> lock(async_leak_mutex_);
+  if (async_leaks_.empty()) return;
+  std::ostringstream os;
+  os << async_leaks_.size()
+     << " nonblocking collective handle(s) destroyed while still in flight"
+        " — every CollectiveHandle must reach wait() or test()==true: ";
+  for (std::size_t i = 0; i < async_leaks_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << async_leaks_[i];
+  }
+  throw InternalError(os.str());
+}
+
 void Universe::assert_quiescent() const {
   for (int r = 0; r < world_size_; ++r) {
     const std::size_t pending = mailboxes_[static_cast<std::size_t>(r)]->pending();

@@ -88,6 +88,17 @@ class Universe {
   [[nodiscard]] const std::map<std::uint64_t, ContextFingerprint>&
   schedule_fingerprints(int world_rank) const;
 
+  /// --- in-flight nonblocking-collective accounting --------------------------
+  /// A CollectiveHandle destroyed before completing cannot throw from its
+  /// destructor, so it records the leak here; the Runtime raises it at
+  /// finalize (before quiescence, whose mailbox-leak diagnosis would be the
+  /// unactionable symptom of the same bug).
+  void note_async_leak(const std::string& description);
+  void clear_async_leaks();
+  /// Throws InternalError naming every leaked op if any handle was dropped
+  /// while still in flight.
+  void assert_no_async_leaks() const;
+
   /// Timeout applied to blocking receives (deadlock detection).
   void set_recv_timeout(std::chrono::milliseconds t) { recv_timeout_ = t; }
   [[nodiscard]] std::chrono::milliseconds recv_timeout() const {
@@ -118,6 +129,9 @@ class Universe {
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mutex_;
   std::string abort_reason_;
+
+  mutable std::mutex async_leak_mutex_;
+  std::vector<std::string> async_leaks_;
 
   std::mutex context_mutex_;
   std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t>

@@ -23,6 +23,21 @@
 /// never masquerade as a valid entry; version-1 archives use 5-u64 slots
 /// with no checksum and are still read.
 ///
+/// When the primary table fills, appends no longer stop: a *continuation
+/// table* is materialized where the next blob would have gone —
+///   "PTAC" | u64 capacity | u64 header_check | u64 entry_count
+///   | capacity x slot
+/// — and entries continue into it (blobs packed after the block, windows
+/// still contiguous). Readers sniff the four bytes after the last committed
+/// blob of a full table and follow the chain; anything that is not a valid
+/// continuation header (short file, wrong magic, implausible capacity, bad
+/// header_check) ends the chain exactly like a clean EOF, so a crash while
+/// materializing a table is indistinguishable from never having grown.
+/// header_check is a CRC32C over the magic and capacity in version-2
+/// archives and zero (unchecked) in version 1; slots use the archive's
+/// slot format. ArchiveFull is thrown only at the configurable
+/// process-wide hard cap (set_archive_hard_cap).
+///
 /// Append protocol (collective): every rank parses the header independently
 /// (deterministic, zero messages) and agrees on the placement; the payload
 /// is then written block-parallel exactly like write_model (rank 0 writes
@@ -67,6 +82,14 @@ inline constexpr std::size_t kDefaultArchiveCapacity = 1024;
 /// Sentinel for "no species mode declared" in the shared header.
 inline constexpr std::uint64_t kArchiveNoSpecies = ~0ull;
 
+/// Process-wide ceiling on the total entry count an archive may grow to
+/// across its continuation chain. Appends past the cap throw ArchiveFull;
+/// the default is the format's structural limit (1 << 20 entries). Mostly a
+/// testing and ops knob — it bounds how far a runaway producer can grow a
+/// file before someone notices.
+void set_archive_hard_cap(std::size_t cap);
+[[nodiscard]] std::size_t archive_hard_cap();
+
 /// Collective: create (truncating any existing file) an empty PTA1 archive
 /// for models over steps of \p step_dims. \p species_mode declares which
 /// spatial mode is the species mode (-1 = none); it is advisory — per-entry
@@ -85,6 +108,27 @@ void archive_append_model(const std::string& path, std::uint64_t step_first,
                           double eps, const dist::DistTensor& core,
                           std::span<const tensor::Matrix> factors,
                           const data::NormalizationStats* stats = nullptr);
+
+/// One window of a batched append: the same arguments archive_append_model
+/// takes, by reference — the caller keeps the models alive for the call.
+struct ArchiveWindow {
+  std::uint64_t step_first = 0;
+  double eps = 0.0;
+  const dist::DistTensor* core = nullptr;
+  std::span<const tensor::Matrix> factors;
+  const data::NormalizationStats* stats = nullptr;
+};
+
+/// Collective: append K window models in one commit. The payloads are all
+/// written first, then rank 0 commits every table slot and the new entry
+/// counts under a single bracketing fsync pair — K windows cost the same
+/// three syncs one window does, and a crash anywhere commits either all K
+/// entries or none of them (payload bytes past the committed count are
+/// unreferenced garbage). Windows must be mutually contiguous and continue
+/// the archive's current step_end, exactly as K sequential single appends
+/// would.
+void archive_append_models(const std::string& path,
+                           std::span<const ArchiveWindow> windows);
 
 /// True when the file at \p path starts with the PTA1 magic.
 [[nodiscard]] bool is_pta1(const std::string& path);
@@ -106,7 +150,12 @@ class ArchiveReader {
   [[nodiscard]] int species_mode() const;
 
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  /// Slot count of the primary table (the archive_create capacity).
   [[nodiscard]] std::size_t entry_capacity() const { return capacity_; }
+  /// Slot count summed over the primary table and every committed
+  /// continuation table — how far the archive can grow without
+  /// materializing another table.
+  [[nodiscard]] std::size_t total_capacity() const { return total_capacity_; }
   [[nodiscard]] const std::vector<ArchiveEntry>& entries() const {
     return entries_;
   }
@@ -146,6 +195,7 @@ class ArchiveReader {
   tensor::Dims step_dims_;
   std::uint64_t species_mode_ = kArchiveNoSpecies;
   std::size_t capacity_ = 0;
+  std::size_t total_capacity_ = 0;
   std::vector<ArchiveEntry> entries_;
 };
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "costmodel/collective_model.hpp"
@@ -314,6 +316,206 @@ TEST_P(Collectives, BarrierSynchronizes) {
   const int p = GetParam();
   run_ranks(p, [&](mps::Comm& comm) {
     for (int i = 0; i < 3; ++i) comm.barrier();
+  });
+}
+
+/// --- nonblocking parity: istart + overlap + wait vs the blocking oracle ----
+///
+/// Every i-op compiles the SAME action script its blocking wrapper runs, so
+/// the results must be bit-identical — not merely close — whatever local
+/// compute happens in the overlap window and whatever order handles
+/// complete in.
+
+/// Stand-in for the local kernel work a real overlap window hides.
+double local_compute(std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += std::sin(static_cast<double>(i) * 0.37);
+  }
+  return s;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST_P(Collectives, IBroadcastParityBitwise) {
+  const int p = GetParam();
+  const int root = p - 1;
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{31}, static_cast<std::size_t>(4 * p + 3)}) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      std::vector<double> oracle(count, 0.0);
+      std::vector<double> overlapped(count, 0.0);
+      if (comm.rank() == root) {
+        oracle = payload_for(root, count);
+        overlapped = oracle;
+      }
+      mps::broadcast(comm, std::span<double>(oracle), root);
+      mps::CollectiveHandle h =
+          mps::ibroadcast(comm, std::span<double>(overlapped), root);
+      volatile double sink = local_compute(500);
+      (void)sink;
+      h.wait();
+      EXPECT_TRUE(bitwise_equal(overlapped, oracle)) << "count " << count;
+    });
+  }
+}
+
+TEST_P(Collectives, IReduceParityBitwise) {
+  const int p = GetParam();
+  const int root = p / 2;
+  for (const std::size_t count :
+       {std::size_t{9}, static_cast<std::size_t>(4 * p + 5)}) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      const auto mine = payload_for(comm.rank(), count);
+      const bool is_root = comm.rank() == root;
+      std::vector<double> oracle(is_root ? count : 0);
+      std::vector<double> overlapped(is_root ? count : 0);
+      mps::reduce(comm, std::span<const double>(mine),
+                  std::span<double>(oracle), root);
+      mps::CollectiveHandle h = mps::ireduce(
+          comm, std::span<const double>(mine), std::span<double>(overlapped),
+          root);
+      volatile double sink = local_compute(500);
+      (void)sink;
+      h.wait();
+      if (is_root) {
+        EXPECT_TRUE(bitwise_equal(overlapped, oracle)) << "count " << count;
+      }
+    });
+  }
+}
+
+TEST_P(Collectives, IAllReduceParityBitwiseBothPaths) {
+  const int p = GetParam();
+  // 1 element takes the reduce+broadcast tree; 4P+8 the ring pair.
+  for (const std::size_t count :
+       {std::size_t{1}, static_cast<std::size_t>(4 * p + 8)}) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      auto oracle = payload_for(comm.rank(), count);
+      auto overlapped = oracle;
+      mps::allreduce(comm, std::span<double>(oracle));
+      mps::CollectiveHandle h =
+          mps::iallreduce(comm, std::span<double>(overlapped));
+      volatile double sink = local_compute(500);
+      (void)sink;
+      h.wait();
+      EXPECT_TRUE(bitwise_equal(overlapped, oracle)) << "count " << count;
+    });
+  }
+}
+
+TEST_P(Collectives, IAllGathervParityBitwiseRaggedCounts) {
+  const int p = GetParam();
+  // r+1 exercises uneven blocks; r%3 adds empty contributions.
+  for (const std::size_t mod : {std::size_t{0}, std::size_t{3}}) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+      std::size_t total = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto ur = static_cast<std::size_t>(r);
+        counts[ur] = mod == 0 ? ur + 1 : ur % mod;
+        total += counts[ur];
+      }
+      const auto mine = payload_for(
+          comm.rank(), counts[static_cast<std::size_t>(comm.rank())]);
+      std::vector<double> oracle(total);
+      std::vector<double> overlapped(total);
+      mps::allgatherv(comm, std::span<const double>(mine),
+                      std::span<double>(oracle),
+                      std::span<const std::size_t>(counts));
+      mps::CollectiveHandle h = mps::iallgatherv(
+          comm, std::span<const double>(mine), std::span<double>(overlapped),
+          std::span<const std::size_t>(counts));
+      volatile double sink = local_compute(500);
+      (void)sink;
+      h.wait();
+      EXPECT_TRUE(bitwise_equal(overlapped, oracle)) << "mod " << mod;
+    });
+  }
+}
+
+TEST_P(Collectives, IReduceScatterParityBitwiseRaggedCounts) {
+  const int p = GetParam();
+  // 2+(r%3) exercises ragged blocks; r%2 adds zero-length destinations.
+  for (const std::size_t mod : {std::size_t{0}, std::size_t{2}}) {
+    run_ranks(p, [&](mps::Comm& comm) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+      std::size_t total = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto ur = static_cast<std::size_t>(r);
+        counts[ur] = mod == 0 ? 2 + ur % 3 : ur % mod;
+        total += counts[ur];
+      }
+      const auto mine = payload_for(comm.rank(), total);
+      const std::size_t mine_count =
+          counts[static_cast<std::size_t>(comm.rank())];
+      std::vector<double> oracle(mine_count);
+      std::vector<double> overlapped(mine_count);
+      mps::reduce_scatter(comm, std::span<const double>(mine),
+                          std::span<double>(oracle),
+                          std::span<const std::size_t>(counts));
+      mps::CollectiveHandle h = mps::ireduce_scatter(
+          comm, std::span<const double>(mine), std::span<double>(overlapped),
+          std::span<const std::size_t>(counts));
+      volatile double sink = local_compute(500);
+      (void)sink;
+      h.wait();
+      EXPECT_TRUE(bitwise_equal(overlapped, oracle)) << "mod " << mod;
+    });
+  }
+}
+
+/// Several collectives in flight on the same communicator, completed out of
+/// initiation order and polled with test() along the way — sub-tag isolation
+/// must keep their transfers from cross-matching.
+TEST_P(Collectives, OutOfOrderWaitAndTestAcrossInflightOps) {
+  const int p = GetParam();
+  run_ranks(p, [&](mps::Comm& comm) {
+    const std::size_t count = static_cast<std::size_t>(3 * p + 4);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r % 3 + 1);
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    // Blocking oracles first.
+    std::vector<double> bcast_oracle(count, 0.0);
+    if (comm.rank() == 0) bcast_oracle = payload_for(42, count);
+    mps::broadcast(comm, std::span<double>(bcast_oracle), 0);
+    auto sum_oracle = payload_for(comm.rank(), count);
+    mps::allreduce(comm, std::span<double>(sum_oracle));
+    const auto mine = payload_for(
+        comm.rank(), counts[static_cast<std::size_t>(comm.rank())]);
+    std::vector<double> gather_oracle(total);
+    mps::allgatherv(comm, std::span<const double>(mine),
+                    std::span<double>(gather_oracle),
+                    std::span<const std::size_t>(counts));
+
+    // Three handles in flight at once, completed in reverse order.
+    std::vector<double> bcast(count, 0.0);
+    if (comm.rank() == 0) bcast = payload_for(42, count);
+    auto sum = payload_for(comm.rank(), count);
+    std::vector<double> gather(total);
+    mps::CollectiveHandle hb =
+        mps::ibroadcast(comm, std::span<double>(bcast), 0);
+    mps::CollectiveHandle hs = mps::iallreduce(comm, std::span<double>(sum));
+    mps::CollectiveHandle hg = mps::iallgatherv(
+        comm, std::span<const double>(mine), std::span<double>(gather),
+        std::span<const std::size_t>(counts));
+    (void)hb.test();  // poll the earliest op while the others are in flight
+    hg.wait();
+    (void)hb.test();
+    hs.wait();
+    hb.wait();
+    EXPECT_TRUE(bitwise_equal(bcast, bcast_oracle));
+    EXPECT_TRUE(bitwise_equal(sum, sum_oracle));
+    EXPECT_TRUE(bitwise_equal(gather, gather_oracle));
   });
 }
 

@@ -145,6 +145,68 @@ TEST(Schedule, NestedCollectivesFingerprintOnlyTheOuterOp) {
   });
 }
 
+TEST(Schedule, AsyncMatchingScheduleVerifiesClean) {
+  // Nonblocking ops fingerprint at INITIATION, so a matching istart/wait
+  // schedule verifies exactly like its blocking counterpart.
+  EXPECT_NO_THROW(run_verified(3, [](mps::Comm& comm) {
+    std::vector<double> buf(6, comm.rank() == 0 ? 2.0 : 0.0);
+    mps::CollectiveHandle hb =
+        mps::ibroadcast(comm, std::span<double>(buf), 0);
+    std::vector<double> sum(4, 1.0);
+    mps::CollectiveHandle hs = mps::iallreduce(comm, std::span<double>(sum));
+    hs.wait();
+    hb.wait();
+    EXPECT_DOUBLE_EQ(buf[0], 2.0);
+    EXPECT_DOUBLE_EQ(sum[0], 1.0 * comm.size());
+    comm.barrier();
+  }));
+}
+
+TEST(Schedule, AsyncDivergenceIsFlaggedWithOpNamed) {
+  // Rank 0 initiates-and-completes an ibroadcast (its sends are eager, so
+  // it finishes without rank 1); rank 1 silently skips it. Because i-ops
+  // record their fingerprint at initiation, the verifier names the
+  // collective just as it does for the blocking form.
+  try {
+    run_verified(2, [](mps::Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<double> buf(4, 1.0);
+        mps::ibroadcast(comm, std::span<double>(buf), 0).wait();
+      }
+    });
+    FAIL() << "divergent async schedule not flagged";
+  } catch (const mps::ScheduleMismatchError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broadcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+  }
+}
+
+TEST(Schedule, LeakedInflightHandleIsFlaggedWithOpNamed) {
+  // A handle destroyed before its op completes is a silent-data-loss bug
+  // (the transfer may be half done). Non-root ranks initiate an ibroadcast
+  // the root never sends for — the recv can never complete — and abandon
+  // the handle. Finalize must fail loudly, naming the op and the rank, and
+  // the leak check runs BEFORE schedule verification so the report is about
+  // the leak even though the schedules also diverged.
+  try {
+    testing::run_ranks(2, [](mps::Comm& comm) {
+      if (comm.rank() == 0) return;  // root never initiates
+      std::vector<double> buf(4, 0.0);
+      mps::CollectiveHandle h =
+          mps::ibroadcast(comm, std::span<double>(buf), 0);
+      EXPECT_FALSE(h.test());
+      // h goes out of scope still in flight.
+    });
+    FAIL() << "leaked in-flight handle not flagged";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broadcast on rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("in flight"), std::string::npos) << what;
+    EXPECT_NE(what.find("wait()"), std::string::npos) << what;
+  }
+}
+
 TEST(Schedule, ResetsBetweenRuns) {
   // Each Runtime::run starts from a clean slate: a schedule from run 1 must
   // not be compared against run 2's.

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "core/reconstruct.hpp"
 #include "core/st_hosvd.hpp"
@@ -265,25 +266,208 @@ TEST(Archive, RejectsMisuse) {
         pario::archive_append_model(path, 5, 1e-4, model.core, factors),
         InvalidArgument);
     pario::archive_append_model(path, 0, 1e-4, model.core, factors);
-    // Table full (capacity 1): a distinct ArchiveFull (still an
-    // InvalidArgument) that names the knob to raise, not a silent limit.
+    // Appends past entry_capacity chain into continuation tables now;
+    // ArchiveFull is reserved for the process-wide hard cap and names
+    // every knob involved. (Barriers around the cap writes: the cap is
+    // process-global, so every rank must see the same value when its
+    // append validates.)
+    const std::size_t old_cap = pario::archive_hard_cap();
+    comm.barrier();
+    pario::set_archive_hard_cap(1);
+    comm.barrier();
     try {
       pario::archive_append_model(path, 2, 1e-4, model.core, factors);
-      FAIL() << "append past entry_capacity succeeded";
+      FAIL() << "append past the hard cap succeeded";
     } catch (const ArchiveFull& e) {
       const std::string what = e.what();
       EXPECT_NE(what.find("entry_capacity"), std::string::npos) << what;
       EXPECT_NE(what.find("archive_create"), std::string::npos) << what;
+      EXPECT_NE(what.find("set_archive_hard_cap"), std::string::npos) << what;
     }
+    comm.barrier();
+    pario::set_archive_hard_cap(old_cap);
+    comm.barrier();
+    // With the cap lifted, the same append chains past entry_capacity.
+    pario::archive_append_model(path, 2, 1e-4, model.core, factors);
+    // Contiguity still enforced inside the continuation table.
     EXPECT_THROW(
-        pario::archive_append_model(path, 2, 1e-4, model.core, factors),
-        InvalidArgument);  // and it still satisfies the broader contract
+        pario::archive_append_model(path, 9, 1e-4, model.core, factors),
+        InvalidArgument);
   });
-  // Covering queries validate their range.
+  // Covering queries validate their range; the chained entry is visible.
   const pario::ArchiveReader reader(path);
+  EXPECT_EQ(reader.entry_count(), 2u);
+  EXPECT_EQ(reader.entry_capacity(), 1u);
+  EXPECT_EQ(reader.total_capacity(), 2u);
   EXPECT_THROW((void)reader.covering(1, 1), InvalidArgument);
-  EXPECT_THROW((void)reader.covering(0, 3), InvalidArgument);
+  EXPECT_THROW((void)reader.covering(0, 5), InvalidArgument);
   EXPECT_EQ(reader.covering(0, 2).size(), 1u);
+  EXPECT_EQ(reader.covering(0, 4).size(), 2u);
+  std::filesystem::remove(path);
+}
+
+/// Chaining: a small primary table grows through continuation tables and
+/// every entry stays readable — across grids, and in both container
+/// versions (v2 slot/header checksums and plain v1).
+TEST(Archive, ChainsPastCapacityThroughContinuationTables) {
+  for (const bool crc : {true, false}) {
+    const bool saved = pario::write_checksums();
+    pario::set_write_checksums(crc);
+    const std::string path = temp_path("ptucker_arch_chain.pta");
+    const Dims step_dims{6, 5, 4};
+    const double eps = 1e-5;
+    const std::size_t window = 2;
+    const std::size_t windows = 7;  // capacity 2 -> primary + 3 chained
+
+    run_ranks(4, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, {2, 2, 1, 1});
+      pario::archive_create(path, comm, step_dims, -1, /*capacity=*/2);
+      for (std::size_t w = 0; w < windows; ++w) {
+        const TuckerTensor model =
+            window_model(grid, step_dims, w * window, window, eps);
+        pario::archive_append_model(
+            path, w * window, eps, model.core,
+            std::span<const tensor::Matrix>(model.factors));
+      }
+    });
+
+    run_ranks(2, [&](mps::Comm& comm) {
+      auto grid = dist::make_grid(comm, {2, 1, 1, 1});
+      const pario::ArchiveReader reader(path);
+      ASSERT_EQ(reader.entry_count(), windows) << "crc " << crc;
+      EXPECT_EQ(reader.entry_capacity(), 2u);
+      EXPECT_EQ(reader.total_capacity(), 8u);  // 2 + 3 x 2 chained
+      EXPECT_EQ(reader.step_end(), windows * window);
+      for (std::size_t e = 0; e < windows; ++e) {
+        pario::ModelData md = reader.read_entry(e, grid);
+        TuckerTensor model;
+        model.core = std::move(md.core);
+        model.factors = std::move(md.factors);
+        DistTensor expect(grid, model.data_dims());
+        fill_window(expect, reader.entry(e).step_first);
+        const DistTensor got = core::reconstruct(model);
+        EXPECT_LT(testing::max_diff(got.local().data(),
+                                    expect.local().data(),
+                                    got.local().size()),
+                  1e-4)
+            << "crc " << crc << " entry " << e;
+      }
+    });
+    pario::set_write_checksums(saved);
+    std::filesystem::remove(path);
+  }
+}
+
+/// A torn (or missing) continuation header ends the chain exactly like a
+/// clean EOF — the committed prefix stays readable — while corruption in a
+/// *committed* continuation slot stays loud.
+TEST(Archive, TornContinuationReadsAsCleanEnd) {
+  const std::string path = temp_path("ptucker_arch_torn_chain.pta");
+  const Dims step_dims{6, 5, 4};
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1, 1});
+    pario::archive_create(path, comm, step_dims, -1, /*capacity=*/1);
+    for (std::size_t w = 0; w < 3; ++w) {
+      const TuckerTensor model =
+          window_model(grid, step_dims, 2 * w, 2, 1e-4);
+      pario::archive_append_model(
+          path, 2 * w, 1e-4, model.core,
+          std::span<const tensor::Matrix>(model.factors));
+    }
+  });
+  const pario::ArchiveReader full(path);
+  ASSERT_EQ(full.entry_count(), 3u);
+  // Continuation table t lives where entry t-1's blob ends.
+  const auto cont_off = [&](std::size_t e) {
+    return full.entry(e).byte_offset + full.entry(e).byte_count;
+  };
+  const auto flip_byte = [&](std::uint64_t off) {
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    fs.seekg(static_cast<std::streamoff>(off));
+    char b = 0;
+    fs.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5a);
+    fs.seekp(static_cast<std::streamoff>(off));
+    fs.write(&b, 1);
+  };
+
+  // Smash the second continuation's magic: its entry drops off, the rest
+  // reads fine.
+  flip_byte(cont_off(1));
+  {
+    const pario::ArchiveReader reader(path);
+    EXPECT_EQ(reader.entry_count(), 2u);
+    EXPECT_EQ(reader.step_end(), 4u);
+    EXPECT_GT(reader.read_entry_local(1).core.size(), 0u);
+  }
+  flip_byte(cont_off(1));  // restore
+  // Smash the first continuation's header_check: same clean-EOF behavior
+  // (v2 archives; the check spans magic + capacity).
+  flip_byte(cont_off(0) + 12);
+  {
+    const pario::ArchiveReader reader(path);
+    EXPECT_EQ(reader.entry_count(), 1u);
+  }
+  flip_byte(cont_off(0) + 12);  // restore
+  ASSERT_EQ(pario::ArchiveReader(path).entry_count(), 3u);
+  // A committed slot inside a continuation table is covered by its CRC:
+  // flip one byte of the first continuation's slot 0 -> loud failure.
+  flip_byte(cont_off(0) + 4 + 3 * 8 + 2);
+  EXPECT_THROW((void)pario::ArchiveReader(path), ChecksumError);
+  std::filesystem::remove(path);
+}
+
+/// archive_append_models: K windows, one commit — including a batch that
+/// overflows the primary table and grows the chain mid-batch.
+TEST(Archive, BatchedAppendSpansChainBoundary) {
+  const std::string path = temp_path("ptucker_arch_batch.pta");
+  const Dims step_dims{6, 5, 4};
+  const double eps = 1e-5;
+  const std::size_t window = 2;
+  const std::size_t windows = 5;  // capacity 2 -> chains twice mid-batch
+
+  run_ranks(4, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 2, 1, 1});
+    pario::archive_create(path, comm, step_dims, -1, /*capacity=*/2);
+    std::vector<TuckerTensor> models;
+    models.reserve(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+      models.push_back(
+          window_model(grid, step_dims, w * window, window, eps));
+    }
+    std::vector<pario::ArchiveWindow> batch(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+      batch[w].step_first = w * window;
+      batch[w].eps = eps;
+      batch[w].core = &models[w].core;
+      batch[w].factors =
+          std::span<const tensor::Matrix>(models[w].factors);
+    }
+    pario::archive_append_models(
+        path, std::span<const pario::ArchiveWindow>(batch));
+  });
+
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1, 1});
+    const pario::ArchiveReader reader(path);
+    ASSERT_EQ(reader.entry_count(), windows);
+    EXPECT_EQ(reader.total_capacity(), 6u);  // 2 + 2 x 2 chained
+    EXPECT_EQ(reader.step_end(), windows * window);
+    for (std::size_t e = 0; e < windows; ++e) {
+      pario::ModelData md = reader.read_entry(e, grid);
+      TuckerTensor model;
+      model.core = std::move(md.core);
+      model.factors = std::move(md.factors);
+      DistTensor expect(grid, model.data_dims());
+      fill_window(expect, reader.entry(e).step_first);
+      const DistTensor got = core::reconstruct(model);
+      EXPECT_LT(testing::max_diff(got.local().data(),
+                                  expect.local().data(),
+                                  got.local().size()),
+                1e-4)
+          << "entry " << e;
+    }
+  });
   std::filesystem::remove(path);
 }
 
@@ -344,6 +528,61 @@ TEST(Streaming, PipelineCompressesIntoOneArchiveAndReconstructsRanges) {
                                 got.local().size()),
               1e-6);
   });
+  fs::remove_all(dir);
+}
+
+/// commit_every batches windows into one archive commit; the layout is
+/// deterministic, so the batched archive must be bit-identical to the
+/// per-window one.
+TEST(Streaming, BatchedCommitProducesIdenticalArchive) {
+  namespace fs = std::filesystem;
+  const std::string dir = temp_path("ptucker_stream_batch");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const Dims step_dims{6, 5, 4};
+  const std::size_t steps = 5;  // window 2 -> 3 windows (last one short)
+
+  run_ranks(2, [&](mps::Comm& comm) {
+    auto grid = dist::make_grid(comm, {2, 1, 1});
+    for (std::size_t t = 0; t < steps; ++t) {
+      DistTensor field(grid, step_dims);
+      field.fill_global([&](std::span<const std::size_t> idx) {
+        return field_value(idx, t);
+      });
+      char name[32];
+      std::snprintf(name, sizeof(name), "/step_%04zu.ptb", t);
+      pario::write_dist_tensor(dir + name, field);
+    }
+  });
+
+  const auto compress = [&](const std::string& archive,
+                            std::size_t commit_every) {
+    run_ranks(2, [&](mps::Comm& comm) {
+      core::StreamingOptions opts;
+      opts.sthosvd.epsilon = 1e-6;
+      opts.window = 2;
+      opts.commit_every = commit_every;
+      opts.archive_capacity = 4;
+      core::StreamingCompressor compressor(comm, dir, archive, opts);
+      const auto results = compressor.compress_all();
+      ASSERT_EQ(results.size(), 3u);
+    });
+  };
+  const std::string arch_single = dir + "/single.pta";
+  const std::string arch_batched = dir + "/batched.pta";
+  compress(arch_single, 1);
+  compress(arch_batched, 8);  // larger than the stream: one commit total
+
+  const pario::ArchiveReader a(arch_single);
+  const pario::ArchiveReader b(arch_batched);
+  ASSERT_EQ(a.entry_count(), 3u);
+  ASSERT_EQ(b.entry_count(), 3u);
+  EXPECT_EQ(b.step_end(), steps);
+  std::ifstream fa(arch_single, std::ios::binary);
+  std::ifstream fb(arch_batched, std::ios::binary);
+  const std::vector<char> bytes_a(std::istreambuf_iterator<char>(fa), {});
+  const std::vector<char> bytes_b(std::istreambuf_iterator<char>(fb), {});
+  EXPECT_EQ(bytes_a, bytes_b);
   fs::remove_all(dir);
 }
 
